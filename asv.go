@@ -1,0 +1,265 @@
+// Package asv is the public API of the adaptive-storage-views library, a
+// Go reproduction of "Towards Adaptive Storage Views in Virtual Memory"
+// (Schuhknecht & Henneberg, CIDR 2023).
+//
+// The library fuses coarse-granular indexing into the storage layer of an
+// in-memory column store: each column is materialized once as physical
+// memory (on a simulated main-memory file), and virtual storage views —
+// virtual-memory areas mapping page-wise onto subsets of the column — act
+// as the index. Partial views are created adaptively as a side product of
+// query processing; queries are routed automatically to the most fitting
+// view(s); batched updates realign the views.
+//
+// Quick start:
+//
+//	db, _ := asv.Open(asv.Options{})
+//	defer db.Close()
+//	col, _ := db.CreateColumn("readings", 4096, asv.DefaultConfig())
+//	col.Fill(asv.Uniform(1, 0, 100_000_000))
+//	res, _ := col.Query(1_000_000, 2_000_000)   // views appear as you query
+//	fmt.Println(res.Count, res.PagesScanned)
+//
+// The heavy lifting lives in the internal packages (vmsim, storage, view,
+// viewset, core); this package wires them together behind a stable
+// surface.
+package asv
+
+import (
+	"fmt"
+
+	"github.com/asv-db/asv/internal/core"
+	"github.com/asv-db/asv/internal/dist"
+	"github.com/asv-db/asv/internal/storage"
+	"github.com/asv-db/asv/internal/view"
+	"github.com/asv-db/asv/internal/vmsim"
+)
+
+// PageSize is the page granularity of the storage layer (4 KiB).
+const PageSize = storage.PageSize
+
+// ValuesPerPage is the number of 8-byte values a column page holds.
+const ValuesPerPage = storage.ValuesPerPage
+
+// Mode selects how queries are routed to views (§2.1 of the paper).
+type Mode = core.Mode
+
+// Routing modes.
+const (
+	// SingleView answers each query from exactly one fully-covering view.
+	SingleView = core.SingleView
+	// MultiView stitches multiple partial views when they jointly cover
+	// the query range.
+	MultiView = core.MultiView
+)
+
+// Config tunes a column's adaptive layer; see DefaultConfig.
+type Config = core.Config
+
+// DefaultConfig returns the paper's configuration: single-view routing, up
+// to 100 partial views, zero discard/replacement tolerance, and both
+// view-creation optimizations (consecutive-run mapping, background mapping
+// thread) enabled.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// BaselineConfig returns a configuration that answers every query with a
+// full column scan and never creates views — useful for comparisons.
+func BaselineConfig() Config { return core.BaselineConfig() }
+
+// Result is the answer to a range query plus routing telemetry.
+type Result = core.QueryResult
+
+// UpdateReport is the cost breakdown of one view-alignment run.
+type UpdateReport = core.UpdateStats
+
+// EngineStats are cumulative per-column counters.
+type EngineStats = core.Stats
+
+// Options configures a DB instance.
+type Options struct {
+	// MaxMemoryPages caps simulated physical memory in 4 KiB pages
+	// (<= 0 selects 4 Mi pages = 16 GiB).
+	MaxMemoryPages int
+	// MaxMappings caps the number of virtual memory areas per DB, the
+	// analogue of vm.max_map_count. The paper raises the kernel default to
+	// 2^32-1; Open does the same when this is 0.
+	MaxMappings int
+}
+
+// DB owns a simulated kernel and one address space in which all columns,
+// tables and their views live.
+type DB struct {
+	kernel  *vmsim.Kernel
+	space   *vmsim.AddressSpace
+	columns map[string]*Column
+	tables  map[string]*Table
+}
+
+// Open creates an empty DB.
+func Open(opts Options) (*DB, error) {
+	k := vmsim.NewKernel(opts.MaxMemoryPages)
+	as := k.NewAddressSpace()
+	maxMaps := opts.MaxMappings
+	if maxMaps <= 0 {
+		maxMaps = 1<<32 - 1
+	}
+	as.SetMaxMapCount(maxMaps)
+	return &DB{
+		kernel:  k,
+		space:   as,
+		columns: make(map[string]*Column),
+		tables:  make(map[string]*Table),
+	}, nil
+}
+
+// CreateColumn materializes a column of numPages pages (numPages ×
+// ValuesPerPage rows, zero-initialized) and wraps it in an adaptive
+// storage layer.
+func (db *DB) CreateColumn(name string, numPages int, cfg Config) (*Column, error) {
+	if _, dup := db.columns[name]; dup {
+		return nil, fmt.Errorf("asv: column %q already exists", name)
+	}
+	sc, err := storage.NewColumn(db.kernel, db.space, name, numPages)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEngine(sc, cfg)
+	if err != nil {
+		_ = sc.Close()
+		return nil, err
+	}
+	c := &Column{db: db, col: sc, eng: eng, name: name}
+	db.columns[name] = c
+	return c, nil
+}
+
+// Column returns a previously created column.
+func (db *DB) Column(name string) (*Column, bool) {
+	c, ok := db.columns[name]
+	return c, ok
+}
+
+// MemoryInUse returns the simulated physical memory currently allocated,
+// in bytes.
+func (db *DB) MemoryInUse() int {
+	return db.kernel.FramesInUse() * PageSize
+}
+
+// Close releases every column and table.
+func (db *DB) Close() error {
+	var firstErr error
+	for name, c := range db.columns {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(db.columns, name)
+	}
+	for name, t := range db.tables {
+		if err := t.tbl.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(db.tables, name)
+	}
+	return firstErr
+}
+
+// Generator produces column values one page at a time; see Uniform,
+// Linear, Sine and Sparse for the distributions used in the paper's
+// evaluation.
+type Generator = dist.Generator
+
+// Uniform returns a generator drawing each value uniformly from [lo, hi].
+func Uniform(seed, lo, hi uint64) Generator { return dist.NewUniform(seed, lo, hi) }
+
+// Linear returns a generator whose values grow linearly with the row
+// position across numPages pages — perfectly clustered data.
+func Linear(seed, lo, hi uint64, numPages int) Generator {
+	return dist.NewLinear(seed, lo, hi, numPages)
+}
+
+// Sine returns a generator following a sine wave over the page sequence
+// with the given period in pages — periodically clustered data such as
+// daily sensor cycles.
+func Sine(seed, lo, hi uint64, periodPages int) Generator {
+	return dist.NewSine(seed, lo, hi, periodPages)
+}
+
+// Sparse returns a generator where zeroFrac of all pages contain only
+// zeros and the rest hold uniform values in [lo, hi].
+func Sparse(seed, lo, hi uint64, zeroFrac float64) Generator {
+	return dist.NewSparse(seed, lo, hi, zeroFrac)
+}
+
+// ViewInfo describes one partial view of a column.
+type ViewInfo struct {
+	Lo, Hi uint64 // covered value range (inclusive)
+	Pages  int    // physical pages indexed
+}
+
+// Column is a physical column with its adaptive view layer.
+type Column struct {
+	db   *DB
+	col  *storage.Column
+	eng  *core.Engine
+	name string
+}
+
+// Name returns the column name.
+func (c *Column) Name() string { return c.name }
+
+// NumPages returns the column length in pages.
+func (c *Column) NumPages() int { return c.col.NumPages() }
+
+// Rows returns the number of value slots.
+func (c *Column) Rows() int { return c.col.Rows() }
+
+// Fill populates the column from a generator.
+func (c *Column) Fill(g Generator) error { return c.col.Fill(g) }
+
+// Value reads one row.
+func (c *Column) Value(row int) (uint64, error) { return c.col.Value(row) }
+
+// Query answers the inclusive range query [lo, hi], adapting the view set
+// as a side product.
+func (c *Column) Query(lo, hi uint64) (Result, error) { return c.eng.Query(lo, hi) }
+
+// Update overwrites one row through the full view and buffers the change
+// for the next FlushUpdates.
+func (c *Column) Update(row int, value uint64) error { return c.eng.Update(row, value) }
+
+// FlushUpdates realigns all partial views with the buffered updates.
+func (c *Column) FlushUpdates() (UpdateReport, error) { return c.eng.FlushUpdates() }
+
+// CreateView eagerly builds a partial view over [lo, hi], bypassing
+// adaptivity — occasionally useful to pre-warm a known hot range.
+func (c *Column) CreateView(lo, hi uint64) error {
+	_, err := c.eng.CreateView(lo, hi)
+	return err
+}
+
+// RebuildViews drops and recreates every partial view from scratch.
+func (c *Column) RebuildViews() error { return c.eng.RebuildViews() }
+
+// Views lists the current partial views.
+func (c *Column) Views() []ViewInfo {
+	vs := c.eng.Views()
+	out := make([]ViewInfo, len(vs))
+	for i, v := range vs {
+		out[i] = ViewInfo{Lo: v.Lo(), Hi: v.Hi(), Pages: v.NumPages()}
+	}
+	return out
+}
+
+// Stats returns the column's cumulative engine counters.
+func (c *Column) Stats() EngineStats { return c.eng.Stats() }
+
+// Close releases the views and the column storage.
+func (c *Column) Close() error {
+	if err := c.eng.Close(); err != nil {
+		return err
+	}
+	return c.col.Close()
+}
+
+// CreateOptions re-exports the view-creation optimization switches for
+// Config.Create.
+type CreateOptions = view.CreateOptions

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/asv-db/asv/internal/harness"
+)
+
+func TestSelectExperiments(t *testing.T) {
+	all, err := selectExperiments("all")
+	if err != nil || len(all) != len(experiments) {
+		t.Fatalf("all: %d experiments, %v", len(all), err)
+	}
+	one, err := selectExperiments("fig3")
+	if err != nil || len(one) != 1 || one[0].id != "fig3" {
+		t.Fatalf("fig3: %v, %v", one, err)
+	}
+	multi, err := selectExperiments("fig6a,fig7b")
+	if err != nil || len(multi) != 2 || multi[0].id != "fig6a" || multi[1].id != "fig7b" {
+		t.Fatalf("multi: %v, %v", multi, err)
+	}
+	if _, err := selectExperiments("fig99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if _, err := selectExperiments("fig3,fig99"); err == nil {
+		t.Fatal("partially unknown list accepted")
+	}
+}
+
+func TestExperimentIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments {
+		if seen[e.id] {
+			t.Fatalf("duplicate experiment id %q", e.id)
+		}
+		seen[e.id] = true
+		if e.desc == "" || e.run == nil {
+			t.Fatalf("experiment %q incomplete", e.id)
+		}
+	}
+}
+
+func TestEmitToDirectory(t *testing.T) {
+	dir := t.TempDir()
+	tbl := &harness.Table{ID: "demo", Title: "t", Header: []string{"a"}}
+	tbl.AddRow("1")
+	if err := emit(tbl, "tsv", dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "demo.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "demo") || !strings.Contains(string(data), "1") {
+		t.Fatalf("file contents: %q", data)
+	}
+}
+
+func TestTableHelpers(t *testing.T) {
+	res := &harness.SequenceResult{Table: &harness.Table{ID: "x"}}
+	tables, err := seqTables(res, nil)
+	if err != nil || len(tables) != 1 {
+		t.Fatalf("seqTables: %v, %v", tables, err)
+	}
+	if _, err := seqTables(nil, os.ErrClosed); err == nil {
+		t.Fatal("seqTables swallowed error")
+	}
+	if _, err := one(nil, os.ErrClosed); err == nil {
+		t.Fatal("one swallowed error")
+	}
+	var buf bytes.Buffer
+	if err := (&harness.Table{ID: "y", Header: []string{"h"}}).WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

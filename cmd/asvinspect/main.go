@@ -1,0 +1,130 @@
+// Command asvinspect demonstrates the internals of the adaptive storage
+// layer on a small column: it runs a query sequence, then dumps the view
+// set, the VMA layout of the simulated address space, and the rendered
+// /proc-style maps file — the structures the paper's mechanisms live in.
+//
+// Usage:
+//
+//	asvinspect [-pages 2048] [-queries 40] [-dist sine] [-mode single|multi]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/asv-db/asv/internal/core"
+	"github.com/asv-db/asv/internal/dist"
+	"github.com/asv-db/asv/internal/storage"
+	"github.com/asv-db/asv/internal/vmsim"
+	"github.com/asv-db/asv/internal/workload"
+)
+
+func main() {
+	var (
+		pages    = flag.Int("pages", 2048, "column size in 4KiB pages")
+		queries  = flag.Int("queries", 40, "number of adaptive queries to fire")
+		distName = flag.String("dist", "sine", "distribution: uniform, linear, sine, sparse")
+		mode     = flag.String("mode", "single", "routing mode: single or multi")
+		seed     = flag.Uint64("seed", 42, "workload seed")
+		showMaps = flag.Bool("maps", true, "print the rendered maps file")
+	)
+	flag.Parse()
+
+	if err := run(*pages, *queries, *distName, *mode, *seed, *showMaps); err != nil {
+		fmt.Fprintln(os.Stderr, "asvinspect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(pages, queries int, distName, mode string, seed uint64, showMaps bool) error {
+	const domain = 100_000_000
+
+	kern := vmsim.NewKernel(0)
+	as := kern.NewAddressSpace()
+	as.SetMaxMapCount(1<<32 - 1)
+	col, err := storage.NewColumn(kern, as, "demo", pages)
+	if err != nil {
+		return err
+	}
+	g, err := dist.ByName(distName, seed, 0, domain, pages)
+	if err != nil {
+		return err
+	}
+	if err := col.Fill(g); err != nil {
+		return err
+	}
+
+	cfg := core.DefaultConfig()
+	if mode == "multi" {
+		cfg.Mode = core.MultiView
+	} else if mode != "single" {
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	eng, err := core.NewEngine(col, cfg)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	fmt.Printf("column: %d pages (%d rows), %s distribution over [0, %d]\n",
+		col.NumPages(), col.Rows(), distName, domain)
+
+	qs := workload.SelectivitySweep(seed, queries, domain, domain/2, domain/1000)
+	for i, q := range qs {
+		res, err := eng.Query(q.Lo, q.Hi)
+		if err != nil {
+			return err
+		}
+		verdict := "full scan"
+		if !res.UsedFullView {
+			verdict = fmt.Sprintf("%d view(s)", res.ViewsUsed)
+		}
+		decision := ""
+		if res.CandidateBuilt {
+			decision = " | candidate " + res.Decision.String()
+		}
+		fmt.Printf("q%02d [%9d, %9d]  -> %6d rows, %5d pages scanned via %s%s\n",
+			i, q.Lo, q.Hi, res.Count, res.PagesScanned, verdict, decision)
+	}
+
+	fmt.Printf("\n=== view set (%d partial views, frozen=%v) ===\n",
+		eng.ViewSet().Len(), eng.ViewSet().Frozen())
+	for i, v := range eng.Views() {
+		fmt.Printf("  view %2d: [%12d, %12d]  %6d pages\n", i, v.Lo(), v.Hi(), v.NumPages())
+	}
+
+	st := as.Stats()
+	fmt.Printf("\n=== address space ===\n")
+	fmt.Printf("  VMAs: %d   mmap calls: %d   pages mapped: %d   splits: %d   merges: %d\n",
+		st.VMACount, st.MmapCalls, st.PagesMapped, st.VMASplits, st.VMAMerges)
+	fmt.Printf("  physical memory in use: %d MiB\n", kern.FramesInUse()*vmsim.PageSize/(1<<20))
+
+	if showMaps {
+		fmt.Printf("\n=== /proc/%d/maps (first 20 lines) ===\n", as.PID())
+		maps := as.RenderMaps()
+		printed, line := 0, 0
+		for _, b := range maps {
+			if printed >= 20 {
+				fmt.Printf("  ... (%d more lines)\n", countLines(maps)-printed)
+				break
+			}
+			fmt.Printf("%c", b)
+			line++
+			if b == '\n' {
+				printed++
+			}
+		}
+	}
+	return nil
+}
+
+func countLines(b []byte) int {
+	n := 0
+	for _, c := range b {
+		if c == '\n' {
+			n++
+		}
+	}
+	return n
+}

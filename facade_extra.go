@@ -1,0 +1,195 @@
+package asv
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/asv-db/asv/internal/core"
+	"github.com/asv-db/asv/internal/storage"
+	"github.com/asv-db/asv/internal/table"
+)
+
+// MultiViewPolicy selects how multi-view covers compete with single views
+// in MultiView mode.
+type MultiViewPolicy = core.MultiViewPolicy
+
+// Multi-view policies.
+const (
+	// PreferMulti uses a multi-view cover whenever one exists — the
+	// paper's published behaviour.
+	PreferMulti = core.PreferMulti
+	// CostBased picks the plan with the fewer indexed pages — the paper's
+	// stated future work, implemented here.
+	CostBased = core.CostBased
+)
+
+// LimitPolicy selects the behaviour once MaxViews is reached.
+type LimitPolicy = core.LimitPolicy
+
+// Limit policies.
+const (
+	// Freeze stops creating views for good (the paper's behaviour).
+	Freeze = core.Freeze
+	// EvictLRU keeps adapting by evicting the least-recently-routed view.
+	EvictLRU = core.EvictLRU
+)
+
+// Aggregate summarizes the qualifying values of a range query.
+type Aggregate = core.Aggregate
+
+// RowSet is a materialized set of qualifying row IDs.
+type RowSet = core.RowSet
+
+// QueryRows answers [lo, hi] and materializes the qualifying row IDs,
+// with the same adaptive side effects as Query.
+func (c *Column) QueryRows(lo, hi uint64) (*RowSet, Result, error) {
+	return c.eng.QueryRows(lo, hi)
+}
+
+// QueryAggregate answers [lo, hi] with count, sum, min and max over the
+// qualifying values.
+func (c *Column) QueryAggregate(lo, hi uint64) (Aggregate, Result, error) {
+	return c.eng.QueryAggregate(lo, hi)
+}
+
+// WriteTo serializes the column's data pages (views are an adaptive cache
+// and are not persisted).
+func (c *Column) WriteTo(w io.Writer) (int64, error) { return c.col.WriteTo(w) }
+
+// Save writes the column to a file.
+func (c *Column) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := c.col.WriteTo(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadColumn materializes a column previously written with Save/WriteTo
+// and wraps it in an adaptive layer. The view set starts empty and regrows
+// from the workload.
+func (db *DB) LoadColumn(name, path string, cfg Config) (*Column, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return db.ReadColumn(name, f, cfg)
+}
+
+// ReadColumn is LoadColumn over an arbitrary reader.
+func (db *DB) ReadColumn(name string, r io.Reader, cfg Config) (*Column, error) {
+	if _, dup := db.columns[name]; dup {
+		return nil, fmt.Errorf("asv: column %q already exists", name)
+	}
+	sc, err := storage.ReadColumn(db.kernel, db.space, name, r)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEngine(sc, cfg)
+	if err != nil {
+		_ = sc.Close()
+		return nil, err
+	}
+	c := &Column{db: db, col: sc, eng: eng, name: name}
+	db.columns[name] = c
+	return c, nil
+}
+
+// Predicate is an inclusive range condition on one table column.
+type Predicate = table.Predicate
+
+// SelectResult is the outcome of a conjunctive table selection.
+type SelectResult = table.SelectResult
+
+// Table is a multi-column table; every column carries its own adaptive
+// view layer (the paper's Figure 1).
+type Table struct {
+	db  *DB
+	tbl *table.Table
+}
+
+// CreateTable creates a table whose columns each span numPages pages.
+func (db *DB) CreateTable(name string, numPages int, columns []string, cfg Config) (*Table, error) {
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("asv: table %q already exists", name)
+	}
+	t, err := table.New(db.kernel, db.space, name, numPages, columns, cfg)
+	if err != nil {
+		return nil, err
+	}
+	wrapped := &Table{db: db, tbl: t}
+	db.tables[name] = wrapped
+	return wrapped, nil
+}
+
+// Table returns a previously created table.
+func (db *DB) Table(name string) (*Table, bool) {
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.tbl.Name() }
+
+// Columns returns the column names.
+func (t *Table) Columns() []string { return t.tbl.Columns() }
+
+// Rows returns the row count.
+func (t *Table) Rows() int { return t.tbl.Rows() }
+
+// FillColumn populates one column from a generator.
+func (t *Table) FillColumn(column string, g Generator) error {
+	eng, err := t.tbl.Engine(column)
+	if err != nil {
+		return err
+	}
+	return eng.Column().Fill(g)
+}
+
+// Select answers the conjunction (AND) of the predicates, adapting each
+// involved column's views as a side product.
+func (t *Table) Select(preds ...Predicate) (*SelectResult, error) {
+	return t.tbl.Select(preds)
+}
+
+// Count returns the number of rows matching the conjunction.
+func (t *Table) Count(preds ...Predicate) (int, error) { return t.tbl.Count(preds) }
+
+// Get materializes the named column values of one row.
+func (t *Table) Get(row int, columns ...string) ([]uint64, error) {
+	return t.tbl.Get(row, columns)
+}
+
+// Update overwrites one value (buffered; queries auto-flush).
+func (t *Table) Update(column string, row int, value uint64) error {
+	return t.tbl.Update(column, row, value)
+}
+
+// FlushUpdates realigns the views of every column.
+func (t *Table) FlushUpdates() error { return t.tbl.FlushUpdates() }
+
+// ColumnViews lists the partial views of one column.
+func (t *Table) ColumnViews(column string) ([]ViewInfo, error) {
+	eng, err := t.tbl.Engine(column)
+	if err != nil {
+		return nil, err
+	}
+	vs := eng.Views()
+	out := make([]ViewInfo, len(vs))
+	for i, v := range vs {
+		out[i] = ViewInfo{Lo: v.Lo(), Hi: v.Hi(), Pages: v.NumPages()}
+	}
+	return out, nil
+}
+
+// Close releases the table's columns and views.
+func (t *Table) Close() error {
+	delete(t.db.tables, t.tbl.Name())
+	return t.tbl.Close()
+}

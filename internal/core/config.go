@@ -1,0 +1,150 @@
+// Package core implements the adaptive storage layer of the paper: for
+// each column it maintains the physical column, the full virtual view, and
+// a set of partial virtual views that are created and maintained
+// adaptively as a side product of query processing (§2, Listing 1), with
+// query routing in single-view and multi-view mode (§2.1) and batched
+// update alignment (§2.4, §2.5).
+package core
+
+import (
+	"fmt"
+
+	"github.com/asv-db/asv/internal/view"
+	"github.com/asv-db/asv/internal/viewset"
+)
+
+// Mode selects the query-routing mode of §2.1.
+type Mode int
+
+const (
+	// SingleView answers each query from exactly one view that fully
+	// covers the predicate, preferring the view indexing the fewest pages.
+	SingleView Mode = iota
+	// MultiView answers a query from multiple partial views whenever they
+	// fully cover the requested range in conjunction, deduplicating shared
+	// physical pages via a bitvector.
+	MultiView
+)
+
+// String renders the mode name.
+func (m Mode) String() string {
+	switch m {
+	case SingleView:
+		return "single-view"
+	case MultiView:
+		return "multi-view"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// MultiViewPolicy decides how multi-view covers compete with single views.
+type MultiViewPolicy int
+
+const (
+	// PreferMulti is the paper's current policy: whenever multiple partial
+	// views cover the query range in conjunction, use them "instead of
+	// directing the query to a single (potentially larger) view" (§2.1).
+	PreferMulti MultiViewPolicy = iota
+	// CostBased implements the paper's stated future work: choose between
+	// the multi-view cover and the cheapest single covering view "based on
+	// the covered value ranges and the number of indexed pages" (§2.1).
+	CostBased
+)
+
+// String renders the policy name.
+func (p MultiViewPolicy) String() string {
+	switch p {
+	case PreferMulti:
+		return "prefer-multi"
+	case CostBased:
+		return "cost-based"
+	default:
+		return fmt.Sprintf("MultiViewPolicy(%d)", int(p))
+	}
+}
+
+// LimitPolicy re-exports the view-limit behaviour (freeze vs evict).
+type LimitPolicy = viewset.LimitPolicy
+
+// Limit policies.
+const (
+	// Freeze stops all candidate generation once MaxViews is reached —
+	// the paper's behaviour (§2.2).
+	Freeze = viewset.Freeze
+	// EvictLRU keeps adapting at the limit by evicting the
+	// least-recently-routed partial view to make room.
+	EvictLRU = viewset.EvictLRU
+)
+
+// Config parameterizes an Engine. The zero value is not valid; start from
+// DefaultConfig.
+type Config struct {
+	// Mode is the query-routing mode (§2.1).
+	Mode Mode
+	// MultiViewPolicy selects how multi-view covers compete with single
+	// views (MultiView mode only).
+	MultiViewPolicy MultiViewPolicy
+	// Limit selects what happens when MaxViews is reached: Freeze (paper)
+	// or EvictLRU (extension).
+	Limit LimitPolicy
+	// MaxViews caps the number of partial views; once reached, candidate
+	// generation stops entirely (§2.2). The paper uses 100 for the
+	// single-view experiments, 200/20 for the multi-view ones.
+	MaxViews int
+	// DiscardTolerance is the paper's d: a candidate covering a subset of
+	// an existing view is discarded even if it indexes up to d fewer
+	// pages. The paper evaluates with d = 0.
+	DiscardTolerance int
+	// ReplaceTolerance is the paper's r: a candidate covering a superset
+	// of an existing view replaces it if it indexes at most r more pages.
+	// The paper evaluates with r = 0.
+	ReplaceTolerance int
+	// Create selects the §2.3 view-creation optimizations.
+	Create view.CreateOptions
+	// MapperQueueCap sizes the concurrent queue feeding the mapping
+	// thread (<= 0 selects 1024).
+	MapperQueueCap int
+	// Adaptive enables partial-view creation and routing. When false the
+	// engine answers every query with a full scan — the paper's baseline.
+	Adaptive bool
+}
+
+// DefaultConfig returns the paper's configuration: single-view mode, up to
+// 100 views, zero tolerances, both creation optimizations enabled.
+func DefaultConfig() Config {
+	return Config{
+		Mode:           SingleView,
+		MaxViews:       100,
+		Create:         view.AllOptimizations,
+		MapperQueueCap: 1024,
+		Adaptive:       true,
+	}
+}
+
+// BaselineConfig returns a configuration that answers every query with a
+// full column scan (the "Fullscan" baseline of §3.2).
+func BaselineConfig() Config {
+	c := DefaultConfig()
+	c.Adaptive = false
+	return c
+}
+
+func (c Config) validate() error {
+	if c.MaxViews < 0 {
+		return fmt.Errorf("core: negative MaxViews %d", c.MaxViews)
+	}
+	if c.DiscardTolerance < 0 || c.ReplaceTolerance < 0 {
+		return fmt.Errorf("core: negative tolerance (d=%d, r=%d)", c.DiscardTolerance, c.ReplaceTolerance)
+	}
+	if c.Mode != SingleView && c.Mode != MultiView {
+		return fmt.Errorf("core: unknown mode %d", int(c.Mode))
+	}
+	if c.MultiViewPolicy != PreferMulti && c.MultiViewPolicy != CostBased {
+		return fmt.Errorf("core: unknown multi-view policy %d", int(c.MultiViewPolicy))
+	}
+	if c.Limit != Freeze && c.Limit != EvictLRU {
+		return fmt.Errorf("core: unknown limit policy %d", int(c.Limit))
+	}
+	return nil
+}

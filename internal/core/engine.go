@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/asv-db/asv/internal/bitvec"
+	"github.com/asv-db/asv/internal/storage"
+	"github.com/asv-db/asv/internal/view"
+	"github.com/asv-db/asv/internal/viewset"
+)
+
+// Engine is the adaptive storage layer of one column: it owns the view
+// set, answers range queries with automatic routing, grows the view set as
+// a side product of query processing, and realigns views after update
+// batches.
+//
+// An Engine is not safe for concurrent use: the paper's system processes
+// one query at a time; only the view-creation mmap work is offloaded to
+// the background mapping thread.
+type Engine struct {
+	col    *storage.Column
+	cfg    Config
+	set    *viewset.Set
+	mapper *view.Mapper
+
+	processed *bitvec.Vector // reused across multi-view queries
+
+	pending []Update // buffered updates awaiting FlushUpdates
+
+	stats Stats
+}
+
+// Stats accumulates engine activity since creation (or ResetStats).
+type Stats struct {
+	Queries         uint64 // total queries answered
+	FullViewQueries uint64 // queries whose routing included the full view
+	PagesScanned    uint64 // physical pages read by queries
+	ViewsCreated    uint64 // candidates inserted as new views
+	ViewsReplaced   uint64 // candidates that replaced an existing view
+	ViewsDiscarded  uint64 // candidates discarded by the retention rules
+	ViewsEvicted    uint64 // LRU evictions under the EvictLRU limit policy
+	UpdatesBuffered uint64 // updates accepted via Update
+	UpdateBatches   uint64 // FlushUpdates / AlignViews invocations
+	PagesAdded      uint64 // view pages added by update alignment
+	PagesRemoved    uint64 // view pages removed by update alignment
+}
+
+// NewEngine wraps a filled column in an adaptive storage layer.
+func NewEngine(col *storage.Column, cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	set := viewset.New(view.NewFull(col), cfg.MaxViews, cfg.DiscardTolerance, cfg.ReplaceTolerance)
+	set.SetLimitPolicy(cfg.Limit)
+	e := &Engine{
+		col:       col,
+		cfg:       cfg,
+		set:       set,
+		processed: bitvec.New(col.NumPages()),
+	}
+	if cfg.Adaptive && cfg.Create.Concurrent {
+		e.mapper = view.NewMapper(cfg.MapperQueueCap)
+	}
+	return e, nil
+}
+
+// Column returns the underlying physical column.
+func (e *Engine) Column() *storage.Column { return e.col }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// ViewSet returns the engine's view index.
+func (e *Engine) ViewSet() *viewset.Set { return e.set }
+
+// Views returns the current partial views.
+func (e *Engine) Views() []*view.View { return e.set.Partials() }
+
+// Stats returns a snapshot of the cumulative counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetStats zeroes the cumulative counters.
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// CreateView builds a partial view over [lo, hi] directly from the full
+// view and inserts it, bypassing the adaptive retention rules. The §3.1
+// micro-benchmark and the §3.4 update experiments set up their views this
+// way.
+func (e *Engine) CreateView(lo, hi uint64) (*view.View, error) {
+	v, err := view.Create(e.col, lo, hi, e.cfg.Create, e.mapper)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.set.Insert(v); err != nil {
+		_ = v.Release()
+		return nil, err
+	}
+	return v, nil
+}
+
+// RebuildViews drops every partial view and recreates each one from
+// scratch over its covered range — the "New" (rebuild) alternative that
+// Figure 7 compares against incremental alignment. Pending updates are
+// dropped rather than flushed: the rebuild scans the column's current
+// contents, which already include every applied write.
+func (e *Engine) RebuildViews() error {
+	e.pending = nil
+	old := e.set.Clear()
+	type rng struct{ lo, hi uint64 }
+	ranges := make([]rng, 0, len(old))
+	for _, v := range old {
+		ranges = append(ranges, rng{v.Lo(), v.Hi()})
+		if err := v.Release(); err != nil {
+			return err
+		}
+	}
+	for _, r := range ranges {
+		v, err := view.Create(e.col, r.lo, r.hi, e.cfg.Create, e.mapper)
+		if err != nil {
+			return err
+		}
+		// Rebuilt views keep their original declared range: Create may
+		// extend, but the view's contract is its pre-update range.
+		v.SetRange(r.lo, r.hi)
+		if err := e.set.Insert(v); err != nil {
+			_ = v.Release()
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases all partial views and stops the mapping thread. The
+// column itself stays usable (and must be closed by its owner).
+func (e *Engine) Close() error {
+	var firstErr error
+	for _, v := range e.set.Clear() {
+		if err := v.Release(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if e.mapper != nil {
+		e.mapper.Stop()
+		e.mapper = nil
+	}
+	return firstErr
+}
+
+// resetProcessed clears (or right-sizes) the processed-pages bitvector.
+func (e *Engine) resetProcessed() *bitvec.Vector {
+	if e.processed.Len() != e.col.NumPages() {
+		e.processed = bitvec.New(e.col.NumPages())
+	} else {
+		e.processed.Reset()
+	}
+	return e.processed
+}
+
+// String summarizes the engine state.
+func (e *Engine) String() string {
+	return fmt.Sprintf("Engine(%s, %d partial views, frozen=%v)",
+		e.cfg.Mode, e.set.Len(), e.set.Frozen())
+}

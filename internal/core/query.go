@@ -1,0 +1,93 @@
+package core
+
+import (
+	"github.com/asv-db/asv/internal/view"
+	"github.com/asv-db/asv/internal/viewset"
+)
+
+// QueryResult reports the answer to a range query together with the
+// routing and adaptivity telemetry the paper's figures plot (scanned
+// pages, Fig. 4; considered views, Fig. 5).
+type QueryResult struct {
+	Count int    // qualifying values
+	Sum   uint64 // wrapping sum of qualifying values
+
+	PagesScanned int  // physical pages read
+	ViewsUsed    int  // views routed to
+	UsedFullView bool // whether the full view was among them
+
+	// CandidateBuilt reports whether a candidate view was constructed
+	// alongside this query; Decision is what became of it.
+	CandidateBuilt bool
+	Decision       viewset.Decision
+}
+
+// Query answers the inclusive range query [lo, hi], creating and
+// maintaining partial views as a side product (Listing 1).
+//
+// If updates are pending (buffered via Update but not yet flushed), Query
+// flushes them first: partial views must reflect all updates before they
+// may answer queries (§2.4), and returning stale answers is never
+// acceptable. Callers that want update batching simply issue updates in
+// runs between queries — exactly the paper's model.
+func (e *Engine) Query(lo, hi uint64) (QueryResult, error) {
+	return e.queryCollect(lo, hi, nil)
+}
+
+// route returns the source views for [lo, hi] according to the configured
+// mode and multi-view policy.
+func (e *Engine) route(lo, hi uint64) []*view.View {
+	if e.cfg.Mode != MultiView {
+		return []*view.View{e.set.RouteSingle(lo, hi)}
+	}
+	multi := e.set.RouteMulti(lo, hi)
+	if multi == nil {
+		return []*view.View{e.set.RouteSingle(lo, hi)}
+	}
+	if e.cfg.MultiViewPolicy == PreferMulti {
+		// The paper's current policy: use multiple views whenever they
+		// cover the range, "instead of directing the query to a single
+		// (potentially larger) view".
+		return multi
+	}
+	// CostBased — the paper's stated future work: "we plan to base this
+	// decision on the covered value ranges and the number of indexed
+	// pages". Compare the cover's total page count (an upper bound: shared
+	// pages are deduplicated at scan time) against the cheapest single
+	// covering view and take the cheaper plan.
+	single := e.set.RouteSingle(lo, hi)
+	coverPages := 0
+	for _, v := range multi {
+		coverPages += v.NumPages()
+	}
+	if single.NumPages() <= coverPages {
+		return []*view.View{single}
+	}
+	return multi
+}
+
+// applyDecision performs the side effects of a retention decision:
+// releasing discarded candidates, displaced views, and evicted views, and
+// updating counters.
+func (e *Engine) applyDecision(dec viewset.Decision, cand, displaced *view.View) error {
+	switch dec {
+	case viewset.Inserted:
+		e.stats.ViewsCreated++
+	case viewset.Replaced:
+		e.stats.ViewsReplaced++
+		return displaced.Release()
+	case viewset.Evicted:
+		e.stats.ViewsCreated++
+		e.stats.ViewsEvicted++
+		return displaced.Release()
+	default:
+		e.stats.ViewsDiscarded++
+		return cand.Release()
+	}
+	return nil
+}
+
+// fullScan answers [lo, hi] from the full view only (baseline mode).
+func (e *Engine) fullScan(lo, hi uint64) (QueryResult, error) {
+	return e.fullScanCollect(lo, hi, nil)
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/asv-db/asv/internal/bitvec"
+	"github.com/asv-db/asv/internal/storage"
+	"github.com/asv-db/asv/internal/view"
+)
+
+// RowSet is the result of a row-materializing query: one bit per row of
+// the column, set for qualifying rows. Row identity is recovered from the
+// pageID embedded in each physical page (§2), which is what makes scans of
+// arbitrarily-ordered partial views position-independent.
+type RowSet struct {
+	bits *bitvec.Vector
+}
+
+// NewRowSet returns an empty row set for a column with rows slots.
+func NewRowSet(rows int) *RowSet { return &RowSet{bits: bitvec.New(rows)} }
+
+// Contains reports whether row is in the set.
+func (r *RowSet) Contains(row int) bool { return r.bits.Get(row) }
+
+// Add inserts a row.
+func (r *RowSet) Add(row int) { r.bits.Set(row) }
+
+// Len returns the number of rows in the set.
+func (r *RowSet) Len() int { return r.bits.Count() }
+
+// Cap returns the number of row slots the set spans.
+func (r *RowSet) Cap() int { return r.bits.Len() }
+
+// Intersect keeps only rows present in both sets. The sets must span the
+// same number of rows (i.e. come from equally-sized columns of one table).
+func (r *RowSet) Intersect(o *RowSet) { r.bits.And(o.bits) }
+
+// Union adds all rows of o.
+func (r *RowSet) Union(o *RowSet) { r.bits.Or(o.bits) }
+
+// Rows returns the qualifying row IDs in ascending order.
+func (r *RowSet) Rows() []int {
+	out := make([]int, 0, r.Len())
+	for i := r.bits.NextSet(0); i != -1; i = r.bits.NextSet(i + 1) {
+		out = append(out, i)
+	}
+	return out
+}
+
+// ForEach calls fn for every row in ascending order; fn returning false
+// stops the iteration.
+func (r *RowSet) ForEach(fn func(row int) bool) {
+	for i := r.bits.NextSet(0); i != -1; i = r.bits.NextSet(i + 1) {
+		if !fn(i) {
+			return
+		}
+	}
+}
+
+// QueryRows answers [lo, hi] like Query but additionally materializes the
+// qualifying row IDs. View adaptation happens exactly as for Query: the
+// scan is the same, it just also emits matches.
+func (e *Engine) QueryRows(lo, hi uint64) (*RowSet, QueryResult, error) {
+	rs := NewRowSet(e.col.Rows())
+	res, err := e.queryCollect(lo, hi, func(pageID uint64, pg []byte) {
+		base := int(pageID) * storage.ValuesPerPage
+		storage.CollectMatches(pg, lo, hi, func(slot int, _ uint64) {
+			rs.Add(base + slot)
+		})
+	})
+	return rs, res, err
+}
+
+// Aggregate summarizes the qualifying values of a range query.
+type Aggregate struct {
+	Count int
+	Sum   uint64 // wrapping
+	Min   uint64 // valid if Count > 0
+	Max   uint64 // valid if Count > 0
+}
+
+// Mean returns the average qualifying value (0 when empty). Sums that
+// overflow uint64 make the mean meaningless; callers working near the top
+// of the domain should aggregate in chunks.
+func (a Aggregate) Mean() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return float64(a.Sum) / float64(a.Count)
+}
+
+// QueryAggregate answers [lo, hi] with count/sum/min/max over the
+// qualifying values, with the same adaptive side effects as Query.
+func (e *Engine) QueryAggregate(lo, hi uint64) (Aggregate, QueryResult, error) {
+	agg := Aggregate{}
+	res, err := e.queryCollect(lo, hi, func(_ uint64, pg []byte) {
+		storage.CollectMatches(pg, lo, hi, func(_ int, v uint64) {
+			if agg.Count == 0 || v < agg.Min {
+				agg.Min = v
+			}
+			if agg.Count == 0 || v > agg.Max {
+				agg.Max = v
+			}
+			agg.Count++
+		})
+	})
+	agg.Sum = res.Sum
+	if agg.Count != res.Count {
+		// The collecting pass and the filtering pass disagree — impossible
+		// unless a page mutated mid-query, which the engine forbids.
+		return agg, res, fmt.Errorf("core: aggregate drift: %d != %d", agg.Count, res.Count)
+	}
+	return agg, res, err
+}
+
+// queryCollect runs the full Listing-1 query path and additionally invokes
+// collect for every qualifying page (after dedup), letting callers
+// materialize matches without duplicating the adaptive machinery.
+func (e *Engine) queryCollect(lo, hi uint64, collect func(pageID uint64, pg []byte)) (QueryResult, error) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	e.stats.Queries++
+
+	if !e.cfg.Adaptive {
+		res, err := e.fullScanCollect(lo, hi, collect)
+		return res, err
+	}
+	if len(e.pending) > 0 {
+		if _, err := e.FlushUpdates(); err != nil {
+			return QueryResult{}, err
+		}
+	}
+
+	sources := e.route(lo, hi)
+	res := QueryResult{ViewsUsed: len(sources)}
+	for _, sv := range sources {
+		if sv.Full() {
+			res.UsedFullView = true
+			e.stats.FullViewQueries++
+		}
+	}
+	var processed = e.processed
+	if len(sources) > 1 {
+		processed = e.resetProcessed()
+	} else {
+		processed = nil
+	}
+	var builder *view.Builder
+	if !e.set.Frozen() {
+		var err error
+		builder, err = view.NewBuilder(e.col, e.cfg.Create, e.mapper)
+		if err != nil {
+			return res, err
+		}
+	}
+	ext := view.NewRangeExtender(lo, hi)
+	for _, sv := range sources {
+		n := sv.NumPages()
+		for i := 0; i < n; i++ {
+			pg, err := sv.PageBytes(i)
+			if err != nil {
+				if builder != nil {
+					_ = builder.Abort()
+				}
+				return res, err
+			}
+			pid := storage.PageID(pg)
+			if processed != nil && processed.TestAndSet(int(pid)) {
+				continue
+			}
+			s := storage.ScanFilter(pg, lo, hi)
+			res.PagesScanned++
+			if s.Count == 0 {
+				ext.ObserveExcluded(s)
+				continue
+			}
+			res.Count += s.Count
+			res.Sum += s.Sum
+			if collect != nil {
+				collect(pid, pg)
+			}
+			if builder != nil {
+				builder.AddPage(int(pid))
+			}
+		}
+	}
+	e.stats.PagesScanned += uint64(res.PagesScanned)
+
+	if builder == nil {
+		return res, nil
+	}
+	cLo, cHi := ext.Range()
+	srcLo, srcHi := e.set.CoveredInterval(sources, lo, hi)
+	if cLo < srcLo {
+		cLo = srcLo
+	}
+	if cHi > srcHi {
+		cHi = srcHi
+	}
+	cand, err := builder.Finish(cLo, cHi)
+	if err != nil {
+		return res, err
+	}
+	res.CandidateBuilt = true
+	dec, displaced := e.set.Consider(cand)
+	res.Decision = dec
+	if err := e.applyDecision(dec, cand, displaced); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// fullScanCollect is the baseline path of queryCollect.
+func (e *Engine) fullScanCollect(lo, hi uint64, collect func(uint64, []byte)) (QueryResult, error) {
+	full := e.set.Full()
+	res := QueryResult{ViewsUsed: 1, UsedFullView: true}
+	for i := 0; i < full.NumPages(); i++ {
+		pg, err := full.PageBytes(i)
+		if err != nil {
+			return res, err
+		}
+		s := storage.ScanFilter(pg, lo, hi)
+		res.PagesScanned++
+		if s.Count == 0 {
+			continue
+		}
+		res.Count += s.Count
+		res.Sum += s.Sum
+		if collect != nil {
+			collect(storage.PageID(pg), pg)
+		}
+	}
+	e.stats.PagesScanned += uint64(res.PagesScanned)
+	e.stats.FullViewQueries++
+	return res, nil
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/asv-db/asv/internal/procmaps"
+	"github.com/asv-db/asv/internal/storage"
+	"github.com/asv-db/asv/internal/view"
+	"github.com/asv-db/asv/internal/vmsim"
+)
+
+// Update is one element of an update batch (§2.4): row r was overwritten,
+// Old being the value replaced and New the value written.
+type Update struct {
+	Row int
+	Old uint64
+	New uint64
+}
+
+// UpdateStats reports the cost split of one alignment run — exactly the
+// quantities Figure 7 plots: maps-parsing time vs view-update time, and
+// the number of physical pages added to and removed from the views.
+type UpdateStats struct {
+	BatchSize  int // updates in the raw batch
+	NetUpdates int // after last-write-per-row squashing
+	DirtyPages int // distinct physical pages touched
+
+	ParseDuration time.Duration // RenderMaps + Parse + BuildBimap (§2.5)
+	AlignDuration time.Duration // per-view alignment (§2.4)
+	MapsBytes     int           // size of the parsed maps file
+	MapsLines     int           // mappings in it
+
+	PagesAdded   int // view pages mapped by case (1)
+	PagesRemoved int // view pages unmapped by case (2)
+	PagesScanned int // full-page rescans required by case (2)
+}
+
+// Update writes newVal to row through the full view and buffers the
+// (row, old, new) triple for the next FlushUpdates. This is the paper's
+// model: updates happen through the full view immediately; partial views
+// are realigned in batches (§2.4).
+func (e *Engine) Update(row int, newVal uint64) error {
+	old, err := e.col.SetValue(row, newVal)
+	if err != nil {
+		return err
+	}
+	e.pending = append(e.pending, Update{Row: row, Old: old, New: newVal})
+	e.stats.UpdatesBuffered++
+	return nil
+}
+
+// PendingUpdates returns the number of buffered updates.
+func (e *Engine) PendingUpdates() int { return len(e.pending) }
+
+// FlushUpdates aligns all partial views with the buffered update batch and
+// clears the buffer.
+func (e *Engine) FlushUpdates() (UpdateStats, error) {
+	batch := e.pending
+	e.pending = nil
+	return e.AlignViews(batch)
+}
+
+// AlignViews realigns every partial view with an update batch whose writes
+// have already been applied to the column. It implements §2.4 end to end:
+// last-write-per-row squashing, grouping by physical page, one maps-file
+// parse into a bimap (§2.5), and the per-page add/keep/remove decision for
+// each view.
+func (e *Engine) AlignViews(batch []Update) (UpdateStats, error) {
+	st := UpdateStats{BatchSize: len(batch)}
+	e.stats.UpdateBatches++
+	if len(batch) == 0 || e.set.Len() == 0 {
+		return st, nil
+	}
+
+	// Step 1 (§2.4): filter the sequence so only the last update per row
+	// remains, paired with the first overwritten value: u0=(r,a,b),
+	// u1=(r,c,d) collapse to (r,a,d).
+	squashed := make(map[int]Update, len(batch))
+	for _, u := range batch {
+		if prev, ok := squashed[u.Row]; ok {
+			prev.New = u.New
+			squashed[u.Row] = prev
+		} else {
+			squashed[u.Row] = u
+		}
+	}
+	st.NetUpdates = len(squashed)
+
+	// Step 2: group by modified physical page.
+	byPage := make(map[int][]Update)
+	for _, u := range squashed {
+		p := u.Row / storage.ValuesPerPage
+		byPage[p] = append(byPage[p], u)
+	}
+	st.DirtyPages = len(byPage)
+	pages := make([]int, 0, len(byPage))
+	for p := range byPage {
+		pages = append(pages, p)
+	}
+	sort.Ints(pages) // deterministic alignment order
+
+	// Step 3 (§2.5): parse the maps file once and materialize the
+	// page-wise bidirectional map.
+	t0 := time.Now()
+	mapsTxt := e.col.Space().RenderMaps()
+	st.MapsBytes = len(mapsTxt)
+	ms, err := procmaps.Parse(mapsTxt)
+	if err != nil {
+		return st, fmt.Errorf("core: parsing maps: %w", err)
+	}
+	st.MapsLines = len(ms)
+	bm := procmaps.BuildBimap(ms, e.col.File().Inode(), vmsim.PageSize)
+	st.ParseDuration = time.Since(t0)
+
+	// Step 4 (§2.4): align each partial view, maintaining the bimap from
+	// user space as pages are rewired.
+	t1 := time.Now()
+	for _, v := range e.set.Partials() {
+		if err := e.alignView(v, pages, byPage, bm, &st); err != nil {
+			return st, err
+		}
+	}
+	st.AlignDuration = time.Since(t1)
+	e.stats.PagesAdded += uint64(st.PagesAdded)
+	e.stats.PagesRemoved += uint64(st.PagesRemoved)
+	return st, nil
+}
+
+// alignView applies the §2.4 decision procedure for one partial view
+// covering [a, b].
+func (e *Engine) alignView(v *view.View, pages []int, byPage map[int][]Update,
+	bm *procmaps.Bimap, st *UpdateStats) error {
+	a, b := v.Lo(), v.Hi()
+	for _, pageID := range pages {
+		ups := byPage[pageID]
+		anyNewIn, anyOldIn := false, false
+		for _, u := range ups {
+			if u.New >= a && u.New <= b {
+				anyNewIn = true
+			}
+			if u.Old >= a && u.Old <= b {
+				anyOldIn = true
+			}
+		}
+
+		vpn, indexed := bm.MappedIn(int64(pageID), v.BaseVPN(), v.EndMappedVPN())
+		if !indexed {
+			// Case (1): not indexed. Index it iff some update brought a
+			// value of this page into [a, b]; an "unused" virtual page is
+			// available thanks to creation over-allocation.
+			if anyNewIn {
+				newVPN, err := v.AppendPage(pageID)
+				if err != nil {
+					return err
+				}
+				bm.Add(newVPN, int64(pageID))
+				st.PagesAdded++
+			}
+			continue
+		}
+
+		// Case (2): currently indexed.
+		if anyNewIn {
+			// A new value falls into the range: the page must stay.
+			continue
+		}
+		if !anyOldIn {
+			// No update removed a covered value, so whatever justified
+			// indexing the page is still there.
+			continue
+		}
+		// Some covered value was overwritten and nothing covered was
+		// written: only a full inspection of the page can tell whether it
+		// still holds a value in [a, b].
+		pg, err := e.col.PageBytes(pageID)
+		if err != nil {
+			return err
+		}
+		st.PagesScanned++
+		if s := storage.ScanFilter(pg, a, b); s.Count > 0 {
+			continue
+		}
+		slot := int(vpn - v.BaseVPN())
+		res, err := v.RemovePageAt(slot)
+		if err != nil {
+			return err
+		}
+		bm.Remove(res.FreedVPN)
+		if res.MovedFilePage >= 0 {
+			bm.Add(res.MovedToVPN, res.MovedFilePage)
+		}
+		st.PagesRemoved++
+	}
+	return nil
+}

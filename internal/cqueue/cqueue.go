@@ -1,0 +1,154 @@
+// Package cqueue provides a bounded, blocking, concurrent FIFO queue.
+//
+// The paper's optimized view creation (§2.3) offloads mmap() calls to a
+// separate mapping thread: the scanning thread "only inserts a request to
+// map the physical page into a concurrent queue from the Boost library",
+// which the mapping thread drains. This package is the stdlib-only
+// equivalent of that Boost queue: multiple producers, multiple consumers,
+// blocking pop, and a close protocol so the mapping thread can terminate
+// cleanly once a view has been fully mapped.
+package cqueue
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned by Push after Close has been called.
+var ErrClosed = errors.New("cqueue: queue closed")
+
+// Queue is a bounded concurrent FIFO of values of type T.
+//
+// A zero Queue is not usable; construct with New. All methods are safe for
+// concurrent use.
+type Queue[T any] struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	buf      []T
+	head     int // index of next element to pop
+	count    int // number of elements currently queued
+	closed   bool
+
+	// pushWaits counts how often a producer had to block because the queue
+	// was full; exposed for harness statistics.
+	pushWaits uint64
+	popWaits  uint64
+}
+
+// New returns a queue with the given capacity. Capacity must be positive.
+func New[T any](capacity int) *Queue[T] {
+	if capacity <= 0 {
+		panic("cqueue: capacity must be positive")
+	}
+	q := &Queue[T]{buf: make([]T, capacity)}
+	q.notEmpty = sync.NewCond(&q.mu)
+	q.notFull = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends v, blocking while the queue is full. It returns ErrClosed if
+// the queue has been closed (whether before or while blocked).
+func (q *Queue[T]) Push(v T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.count == len(q.buf) && !q.closed {
+		q.pushWaits++
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return ErrClosed
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = v
+	q.count++
+	q.notEmpty.Signal()
+	return nil
+}
+
+// TryPush appends v without blocking. It reports whether the value was
+// queued; it returns false both when the queue is full and when it is
+// closed (use Push to distinguish).
+func (q *Queue[T]) TryPush(v T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.count == len(q.buf) {
+		return false
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = v
+	q.count++
+	q.notEmpty.Signal()
+	return true
+}
+
+// Pop removes and returns the oldest element, blocking while the queue is
+// empty. ok is false if and only if the queue is closed and drained; the
+// consumer loop `for v, ok := q.Pop(); ok; v, ok = q.Pop()` therefore
+// processes every pushed element exactly once.
+func (q *Queue[T]) Pop() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.count == 0 && !q.closed {
+		q.popWaits++
+		q.notEmpty.Wait()
+	}
+	if q.count == 0 { // closed and drained
+		var zero T
+		return zero, false
+	}
+	v = q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero // drop reference for GC
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	q.notFull.Signal()
+	return v, true
+}
+
+// TryPop removes and returns the oldest element without blocking. ok is
+// false if the queue is currently empty.
+func (q *Queue[T]) TryPop() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.count == 0 {
+		var zero T
+		return zero, false
+	}
+	v = q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	q.notFull.Signal()
+	return v, true
+}
+
+// Close marks the queue closed. Subsequent Push calls fail with ErrClosed;
+// queued elements remain poppable; blocked producers and consumers wake.
+// Close is idempotent.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}
+
+// Len returns the number of currently queued elements.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.count
+}
+
+// Cap returns the queue capacity.
+func (q *Queue[T]) Cap() int { return len(q.buf) }
+
+// Stats returns how many times producers and consumers had to block.
+func (q *Queue[T]) Stats() (pushWaits, popWaits uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pushWaits, q.popWaits
+}

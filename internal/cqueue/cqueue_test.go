@@ -1,0 +1,270 @@
+package cqueue
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := New[int](4)
+	for i := 0; i < 4; i++ {
+		if err := q.Push(i); err != nil {
+			t.Fatalf("Push(%d): %v", i, err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop() = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	q := New[int](3)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			if err := q.Push(round*3 + i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := q.Pop()
+			if !ok || v != round*3+i {
+				t.Fatalf("round %d: Pop() = (%d,%v)", round, v, ok)
+			}
+		}
+	}
+}
+
+func TestTryPushFull(t *testing.T) {
+	q := New[int](1)
+	if !q.TryPush(1) {
+		t.Fatal("TryPush on empty queue failed")
+	}
+	if q.TryPush(2) {
+		t.Fatal("TryPush on full queue succeeded")
+	}
+	if v, ok := q.TryPop(); !ok || v != 1 {
+		t.Fatalf("TryPop = (%d,%v)", v, ok)
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop on empty queue succeeded")
+	}
+}
+
+func TestBlockingPop(t *testing.T) {
+	q := New[string](2)
+	done := make(chan string)
+	go func() {
+		v, _ := q.Pop()
+		done <- v
+	}()
+	time.Sleep(10 * time.Millisecond) // give the consumer time to block
+	if err := q.Push("hello"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-done:
+		if v != "hello" {
+			t.Fatalf("got %q", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Pop never woke")
+	}
+}
+
+func TestBlockingPushWakesOnPop(t *testing.T) {
+	q := New[int](1)
+	if err := q.Push(1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error)
+	go func() { done <- q.Push(2) }()
+	time.Sleep(10 * time.Millisecond)
+	if v, ok := q.Pop(); !ok || v != 1 {
+		t.Fatalf("Pop = (%d,%v)", v, ok)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Push: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Push never woke")
+	}
+	if v, ok := q.Pop(); !ok || v != 2 {
+		t.Fatalf("Pop = (%d,%v)", v, ok)
+	}
+}
+
+func TestCloseDrains(t *testing.T) {
+	q := New[int](8)
+	for i := 0; i < 5; i++ {
+		if err := q.Push(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	if err := q.Push(99); err != ErrClosed {
+		t.Fatalf("Push after Close: %v, want ErrClosed", err)
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop after Close = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on closed+drained queue returned ok")
+	}
+}
+
+func TestCloseWakesBlockedConsumer(t *testing.T) {
+	q := New[int](1)
+	done := make(chan bool)
+	go func() {
+		_, ok := q.Pop()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Pop on closed empty queue returned ok=true")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Pop never woke on Close")
+	}
+}
+
+func TestCloseWakesBlockedProducer(t *testing.T) {
+	q := New[int](1)
+	if err := q.Push(1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error)
+	go func() { done <- q.Push(2) }()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Fatalf("blocked Push after Close: %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Push never woke on Close")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	q := New[int](1)
+	q.Close()
+	q.Close() // must not panic
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New[int](0)
+}
+
+// Every pushed element is popped exactly once across many producers and
+// consumers — the property the mapping thread relies on.
+func TestConcurrentExactlyOnce(t *testing.T) {
+	const producers, perProducer, consumers = 8, 2000, 4
+	q := New[int](64)
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := q.Push(p*perProducer + i); err != nil {
+					t.Errorf("Push: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	var cg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				v, ok := q.Pop()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				seen[v]++
+				mu.Unlock()
+			}
+		}()
+	}
+
+	wg.Wait()
+	q.Close()
+	cg.Wait()
+
+	if len(seen) != producers*perProducer {
+		t.Fatalf("saw %d distinct values, want %d", len(seen), producers*perProducer)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d popped %d times", v, n)
+		}
+	}
+}
+
+func TestLenAndCap(t *testing.T) {
+	q := New[int](5)
+	if q.Cap() != 5 || q.Len() != 0 {
+		t.Fatalf("fresh queue: Len=%d Cap=%d", q.Len(), q.Cap())
+	}
+	_ = q.Push(1)
+	_ = q.Push(2)
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	_, _ = q.Pop()
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+}
+
+func TestStatsCountWaits(t *testing.T) {
+	q := New[int](1)
+	_ = q.Push(1)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		_, _ = q.Pop()
+		_, _ = q.Pop()
+	}()
+	_ = q.Push(2) // blocks until consumer pops
+	pushWaits, _ := q.Stats()
+	if pushWaits == 0 {
+		t.Error("expected at least one push wait")
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	q := New[int](1024)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if !q.TryPush(1) {
+				q.TryPop()
+			}
+		}
+	})
+}

@@ -1,0 +1,38 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/asv-db/asv/internal/core"
+	"github.com/asv-db/asv/internal/workload"
+)
+
+// RunFig5 reproduces one panel of Figure 5 (adaptive query processing in
+// multi-view mode on the sine distribution): a sequence of queries with
+// fixed selectivity, answered by stitching multiple partial views. The
+// paper pairs 1% selectivity with up to 200 views and 10% with up to 20.
+// Per query it reports the adaptive response time, the number of views
+// used, and the full-scan baseline.
+func RunFig5(sc Scale, selectivity float64, maxViews int) (*SequenceResult, error) {
+	sc.logf("fig5(sel=%.0f%%): building sine column (%d pages)", selectivity*100, sc.Pages)
+	col, err := newFig4Column(sc, "sine")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = col.Close() }()
+
+	queries := workload.FixedSelectivity(sc.Seed, sc.Queries, fig4Domain, selectivity)
+
+	cfg := core.DefaultConfig()
+	cfg.Mode = core.MultiView
+	cfg.MaxViews = maxViews
+	res, err := runSequence(sc, col, cfg, queries, true)
+	if err != nil {
+		return nil, err
+	}
+	res.Table.ID = fmt.Sprintf("fig5-sel%g", selectivity*100)
+	res.Table.Title = fmt.Sprintf(
+		"Adaptive query processing, multi-view mode, sine distribution (sel. %g%%, <=%d views)",
+		selectivity*100, maxViews)
+	return res, nil
+}

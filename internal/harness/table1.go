@@ -1,0 +1,41 @@
+package harness
+
+import "fmt"
+
+// RunTable1 reproduces Table 1: the accumulated response time over the
+// full query sequence for each of the five §3.2 experiments (Fig. 4a–c
+// single-view, Fig. 5a–b multi-view), full scans vs adaptive view
+// selection. The paper reports adaptive winning every sequence, by up to
+// 1.88x (sparse).
+func RunTable1(sc Scale) (*Table, error) {
+	type seq struct {
+		label string
+		run   func() (*SequenceResult, error)
+	}
+	seqs := []seq{
+		{"fig4a_sine", func() (*SequenceResult, error) { return RunFig4(sc, "sine") }},
+		{"fig4b_linear", func() (*SequenceResult, error) { return RunFig4(sc, "linear") }},
+		{"fig4c_sparse", func() (*SequenceResult, error) { return RunFig4(sc, "sparse") }},
+		{"fig5a_sel1", func() (*SequenceResult, error) { return RunFig5(sc, 0.01, 200) }},
+		{"fig5b_sel10", func() (*SequenceResult, error) { return RunFig5(sc, 0.10, 20) }},
+	}
+
+	t := &Table{
+		ID:     "table1",
+		Title:  fmt.Sprintf("Accumulated response time over all %d queries", sc.Queries),
+		Header: []string{"sequence", "fullscan_s", "adaptive_s", "speedup_x"},
+	}
+	for _, s := range seqs {
+		sc.logf("table1: running %s", s.label)
+		res, err := s.run()
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s: %w", s.label, err)
+		}
+		speedup := 0.0
+		if res.AdaptiveTotal > 0 {
+			speedup = res.BaselineTotal.Seconds() / res.AdaptiveTotal.Seconds()
+		}
+		t.AddRow(s.label, secs(res.BaselineTotal), secs(res.AdaptiveTotal), f2(speedup))
+	}
+	return t, nil
+}

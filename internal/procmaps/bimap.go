@@ -1,0 +1,108 @@
+package procmaps
+
+// Bimap is a page-wise bidirectional map between virtual pages and file
+// (physical) pages of a single backing file — the stand-in for the Boost
+// bimap of §2.5. The forward direction (virtual → file page) is unique;
+// the reverse direction is multi-valued because several partial views may
+// map the same physical page.
+//
+// The bimap is built once from a parsed maps file before an update batch
+// and then "maintained from user-space during the update process": Add and
+// Remove keep both directions consistent while pages are rewired.
+type Bimap struct {
+	v2p map[uint64]int64   // virtual page number -> file page
+	p2v map[int64][]uint64 // file page -> virtual page numbers
+}
+
+// NewBimap returns an empty bimap.
+func NewBimap() *Bimap {
+	return &Bimap{
+		v2p: make(map[uint64]int64),
+		p2v: make(map[int64][]uint64),
+	}
+}
+
+// BuildBimap materializes the page-wise mapping of every area of mappings
+// that is backed by the file with the given inode. pageSize is the page
+// granularity (4096 throughout this repository).
+func BuildBimap(mappings []Mapping, inode uint64, pageSize int) *Bimap {
+	b := NewBimap()
+	for _, m := range mappings {
+		if m.Inode != inode {
+			continue
+		}
+		pages := m.Pages(pageSize)
+		firstVPN := m.Start / uint64(pageSize)
+		firstFile := int64(m.Offset / uint64(pageSize))
+		for i := 0; i < pages; i++ {
+			b.Add(firstVPN+uint64(i), firstFile+int64(i))
+		}
+	}
+	return b
+}
+
+// Add records that virtual page vpn maps file page fp, replacing any
+// previous mapping of vpn.
+func (b *Bimap) Add(vpn uint64, fp int64) {
+	if old, ok := b.v2p[vpn]; ok {
+		b.dropReverse(old, vpn)
+	}
+	b.v2p[vpn] = fp
+	b.p2v[fp] = append(b.p2v[fp], vpn)
+}
+
+// Remove forgets the mapping of virtual page vpn. It reports whether the
+// page was mapped.
+func (b *Bimap) Remove(vpn uint64) bool {
+	fp, ok := b.v2p[vpn]
+	if !ok {
+		return false
+	}
+	delete(b.v2p, vpn)
+	b.dropReverse(fp, vpn)
+	return true
+}
+
+func (b *Bimap) dropReverse(fp int64, vpn uint64) {
+	vs := b.p2v[fp]
+	for i, v := range vs {
+		if v == vpn {
+			vs[i] = vs[len(vs)-1]
+			vs = vs[:len(vs)-1]
+			break
+		}
+	}
+	if len(vs) == 0 {
+		delete(b.p2v, fp)
+	} else {
+		b.p2v[fp] = vs
+	}
+}
+
+// FilePage returns the file page mapped at virtual page vpn.
+func (b *Bimap) FilePage(vpn uint64) (int64, bool) {
+	fp, ok := b.v2p[vpn]
+	return fp, ok
+}
+
+// VirtualPages returns the virtual pages that map file page fp. The
+// returned slice is owned by the bimap; callers must not modify it.
+func (b *Bimap) VirtualPages(fp int64) []uint64 {
+	return b.p2v[fp]
+}
+
+// MappedIn reports whether file page fp is mapped anywhere inside the
+// virtual page range [lo, hi), and returns the first such virtual page.
+// Update alignment uses this to test "is page p already indexed by this
+// partial view" (§2.4), with [lo, hi) being the view's virtual area.
+func (b *Bimap) MappedIn(fp int64, lo, hi uint64) (uint64, bool) {
+	for _, v := range b.p2v[fp] {
+		if v >= lo && v < hi {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Len returns the number of virtual pages currently recorded.
+func (b *Bimap) Len() int { return len(b.v2p) }

@@ -1,0 +1,138 @@
+package procmaps
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBimapAddLookup(t *testing.T) {
+	b := NewBimap()
+	b.Add(100, 5)
+	b.Add(101, 7)
+	b.Add(200, 5) // second view maps the same file page
+
+	if fp, ok := b.FilePage(100); !ok || fp != 5 {
+		t.Fatalf("FilePage(100) = %d,%v", fp, ok)
+	}
+	if _, ok := b.FilePage(999); ok {
+		t.Fatal("FilePage(999) found")
+	}
+	vs := b.VirtualPages(5)
+	if len(vs) != 2 {
+		t.Fatalf("VirtualPages(5) = %v, want two entries", vs)
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+}
+
+func TestBimapAddReplaces(t *testing.T) {
+	b := NewBimap()
+	b.Add(100, 5)
+	b.Add(100, 9) // rewire: vpn 100 now maps file page 9
+	if fp, _ := b.FilePage(100); fp != 9 {
+		t.Fatalf("FilePage(100) = %d, want 9", fp)
+	}
+	if vs := b.VirtualPages(5); len(vs) != 0 {
+		t.Fatalf("stale reverse entry: %v", vs)
+	}
+	if vs := b.VirtualPages(9); len(vs) != 1 || vs[0] != 100 {
+		t.Fatalf("VirtualPages(9) = %v", vs)
+	}
+}
+
+func TestBimapRemove(t *testing.T) {
+	b := NewBimap()
+	b.Add(1, 10)
+	b.Add(2, 10)
+	if !b.Remove(1) {
+		t.Fatal("Remove(1) failed")
+	}
+	if b.Remove(1) {
+		t.Fatal("double Remove succeeded")
+	}
+	if vs := b.VirtualPages(10); len(vs) != 1 || vs[0] != 2 {
+		t.Fatalf("VirtualPages(10) = %v", vs)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}
+
+func TestBimapMappedIn(t *testing.T) {
+	b := NewBimap()
+	b.Add(100, 5)
+	b.Add(200, 5)
+	if v, ok := b.MappedIn(5, 150, 250); !ok || v != 200 {
+		t.Fatalf("MappedIn = %d,%v, want 200,true", v, ok)
+	}
+	if _, ok := b.MappedIn(5, 300, 400); ok {
+		t.Fatal("MappedIn matched outside range")
+	}
+	if _, ok := b.MappedIn(6, 0, 1<<40); ok {
+		t.Fatal("MappedIn matched absent file page")
+	}
+}
+
+func TestBuildBimapFiltersInode(t *testing.T) {
+	mappings := []Mapping{
+		{Start: 0x1000, End: 0x3000, Inode: 7, Offset: 0x4000}, // 2 pages of inode 7
+		{Start: 0x5000, End: 0x6000, Inode: 9, Offset: 0},      // different file
+		{Start: 0x8000, End: 0x9000, Inode: 0},                 // anonymous
+	}
+	b := BuildBimap(mappings, 7, 4096)
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+	if fp, ok := b.FilePage(1); !ok || fp != 4 {
+		t.Fatalf("FilePage(vpn 1) = %d,%v, want 4", fp, ok)
+	}
+	if fp, ok := b.FilePage(2); !ok || fp != 5 {
+		t.Fatalf("FilePage(vpn 2) = %d,%v, want 5", fp, ok)
+	}
+	if _, ok := b.FilePage(5); ok {
+		t.Fatal("inode 9 leaked into bimap")
+	}
+}
+
+// Property: after arbitrary Add/Remove sequences the two directions agree.
+func TestQuickBimapConsistency(t *testing.T) {
+	f := func(ops []uint16) bool {
+		b := NewBimap()
+		ref := map[uint64]int64{}
+		for _, op := range ops {
+			vpn := uint64(op % 64)
+			fp := int64(op / 64 % 16)
+			if op&0x8000 != 0 {
+				b.Remove(vpn)
+				delete(ref, vpn)
+			} else {
+				b.Add(vpn, fp)
+				ref[vpn] = fp
+			}
+		}
+		if b.Len() != len(ref) {
+			return false
+		}
+		// Forward agrees with reference.
+		for vpn, fp := range ref {
+			if got, ok := b.FilePage(vpn); !ok || got != fp {
+				return false
+			}
+		}
+		// Reverse lists exactly the forward entries.
+		seen := 0
+		for fp := int64(0); fp < 16; fp++ {
+			for _, vpn := range b.VirtualPages(fp) {
+				if ref[vpn] != fp {
+					return false
+				}
+				seen++
+			}
+		}
+		return seen == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,196 @@
+// Package procmaps parses the /proc/PID/maps text format and materializes
+// page-wise bidirectional mappings between virtual and physical (file)
+// pages.
+//
+// The paper's update path (§2.5) needs the current virtual→physical mapping
+// of every view to decide which view pages to add or remove. The Linux
+// kernel exposes that mapping only as the text file /proc/PID/maps, so the
+// system parses the file once per update batch and materializes it
+// page-wise in a bidirectional map (the paper uses a Boost bimap), which is
+// then maintained from user space while the batch is applied. This package
+// implements both the parser and the bimap. In this repository the maps
+// text comes from vmsim.AddressSpace.RenderMaps, which emits the same
+// format as the kernel.
+//
+// Parsing is deliberately implemented as a single allocation-light pass:
+// the paper observes that "parsing this file is costly if a sufficient
+// amount of mappings exist", and Figure 7 measures exactly this cost — it
+// must scale with the number of lines (VMAs) and nothing else.
+package procmaps
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Mapping is one parsed line of a maps file: a virtual memory area.
+type Mapping struct {
+	Start, End uint64 // virtual byte addresses, [Start, End)
+	Perm       string // e.g. "rw-s"
+	Offset     uint64 // byte offset into the backing file
+	Dev        string // device, e.g. "00:01"
+	Inode      uint64 // 0 for anonymous areas
+	Path       string // "" for anonymous areas
+}
+
+// Pages returns the length of the mapping in whole pages of the given size.
+func (m Mapping) Pages(pageSize int) int {
+	return int((m.End - m.Start) / uint64(pageSize))
+}
+
+// ErrSyntax is wrapped by all parse errors.
+var ErrSyntax = errors.New("procmaps: syntax error")
+
+// Parse parses the complete contents of a maps file.
+func Parse(data []byte) ([]Mapping, error) {
+	// Pre-size: count lines once to avoid append growth on large files.
+	lines := 0
+	for _, b := range data {
+		if b == '\n' {
+			lines++
+		}
+	}
+	out := make([]Mapping, 0, lines)
+
+	pos, lineNo := 0, 0
+	for pos < len(data) {
+		lineNo++
+		m, next, err := parseLine(data, pos)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrSyntax, lineNo, err)
+		}
+		out = append(out, m)
+		pos = next
+	}
+	return out, nil
+}
+
+// parseLine parses one line starting at pos and returns the position just
+// past its trailing newline (or end of input).
+func parseLine(d []byte, pos int) (Mapping, int, error) {
+	var m Mapping
+	var err error
+
+	if m.Start, pos, err = parseHex(d, pos); err != nil {
+		return m, pos, fmt.Errorf("start address: %v", err)
+	}
+	if pos, err = expect(d, pos, '-'); err != nil {
+		return m, pos, err
+	}
+	if m.End, pos, err = parseHex(d, pos); err != nil {
+		return m, pos, fmt.Errorf("end address: %v", err)
+	}
+	if m.End <= m.Start {
+		return m, pos, fmt.Errorf("empty range %x-%x", m.Start, m.End)
+	}
+	if pos, err = expect(d, pos, ' '); err != nil {
+		return m, pos, err
+	}
+
+	permStart := pos
+	for pos < len(d) && d[pos] != ' ' {
+		pos++
+	}
+	m.Perm = string(d[permStart:pos])
+	if len(m.Perm) != 4 {
+		return m, pos, fmt.Errorf("perms %q: want 4 characters", m.Perm)
+	}
+	if pos, err = expect(d, pos, ' '); err != nil {
+		return m, pos, err
+	}
+
+	if m.Offset, pos, err = parseHex(d, pos); err != nil {
+		return m, pos, fmt.Errorf("offset: %v", err)
+	}
+	if pos, err = expect(d, pos, ' '); err != nil {
+		return m, pos, err
+	}
+
+	devStart := pos
+	for pos < len(d) && d[pos] != ' ' {
+		pos++
+	}
+	m.Dev = string(d[devStart:pos])
+	if pos, err = expect(d, pos, ' '); err != nil {
+		return m, pos, err
+	}
+
+	if m.Inode, pos, err = parseDec(d, pos); err != nil {
+		return m, pos, fmt.Errorf("inode: %v", err)
+	}
+
+	// Optional pathname, separated by one or more spaces.
+	for pos < len(d) && d[pos] == ' ' {
+		pos++
+	}
+	pathStart := pos
+	for pos < len(d) && d[pos] != '\n' {
+		pos++
+	}
+	if pathStart < pos {
+		m.Path = string(d[pathStart:pos])
+	}
+	if pos < len(d) { // consume newline
+		pos++
+	}
+	return m, pos, nil
+}
+
+func expect(d []byte, pos int, c byte) (int, error) {
+	if pos >= len(d) || d[pos] != c {
+		got := "EOF"
+		if pos < len(d) {
+			got = fmt.Sprintf("%q", d[pos])
+		}
+		return pos, fmt.Errorf("expected %q, got %s", c, got)
+	}
+	return pos + 1, nil
+}
+
+func parseHex(d []byte, pos int) (uint64, int, error) {
+	start := pos
+	var v uint64
+	for pos < len(d) {
+		c := d[pos]
+		var digit uint64
+		switch {
+		case c >= '0' && c <= '9':
+			digit = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			digit = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			digit = uint64(c-'A') + 10
+		default:
+			if pos == start {
+				return 0, pos, fmt.Errorf("no hex digits at byte %d", pos)
+			}
+			return v, pos, nil
+		}
+		if v > (^uint64(0))>>4 {
+			return 0, pos, errors.New("hex overflow")
+		}
+		v = v<<4 | digit
+		pos++
+	}
+	if pos == start {
+		return 0, pos, errors.New("no hex digits at EOF")
+	}
+	return v, pos, nil
+}
+
+func parseDec(d []byte, pos int) (uint64, int, error) {
+	start := pos
+	var v uint64
+	for pos < len(d) && d[pos] >= '0' && d[pos] <= '9' {
+		digit := uint64(d[pos] - '0')
+		if v > (^uint64(0)-digit)/10 {
+			return 0, pos, errors.New("decimal overflow")
+		}
+		v = v*10 + digit
+		pos++
+	}
+	if pos == start {
+		return 0, pos, errors.New("no decimal digits")
+	}
+	return v, pos, nil
+}

@@ -1,0 +1,182 @@
+package procmaps
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/asv-db/asv/internal/vmsim"
+)
+
+const sample = `08048000-08056000 rw-s 00002000 03:0c 64593 /dev/shm/db
+7f0000000000-7f0000004000 rw-p 00000000 00:01 0
+7f0000004000-7f0000005000 rw-s 00000000 00:01 42 /dev/shm/col A
+`
+
+func TestParseSample(t *testing.T) {
+	ms, err := Parse([]byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("parsed %d mappings, want 3", len(ms))
+	}
+	m := ms[0]
+	if m.Start != 0x08048000 || m.End != 0x08056000 {
+		t.Errorf("range %#x-%#x", m.Start, m.End)
+	}
+	if m.Perm != "rw-s" || m.Offset != 0x2000 || m.Dev != "03:0c" ||
+		m.Inode != 64593 || m.Path != "/dev/shm/db" {
+		t.Errorf("fields: %+v", m)
+	}
+	if ms[1].Inode != 0 || ms[1].Path != "" {
+		t.Errorf("anon line: %+v", ms[1])
+	}
+	// Path with a space is preserved verbatim.
+	if ms[2].Path != "/dev/shm/col A" {
+		t.Errorf("spaced path: %q", ms[2].Path)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	ms, err := Parse(nil)
+	if err != nil || len(ms) != 0 {
+		t.Fatalf("Parse(nil) = %v, %v", ms, err)
+	}
+}
+
+func TestParseNoTrailingNewline(t *testing.T) {
+	ms, err := Parse([]byte("1000-2000 rw-p 00000000 00:01 0"))
+	if err != nil || len(ms) != 1 {
+		t.Fatalf("got %v, %v", ms, err)
+	}
+	if ms[0].Start != 0x1000 || ms[0].End != 0x2000 {
+		t.Fatalf("range %#x-%#x", ms[0].Start, ms[0].End)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"zzzz-2000 rw-p 00000000 00:01 0",                    // bad hex
+		"1000:2000 rw-p 00000000 00:01 0",                    // wrong separator
+		"2000-1000 rw-p 00000000 00:01 0",                    // inverted range
+		"1000-2000 rw 00000000 00:01 0",                      // short perms
+		"1000-2000 rw-p xyz 00:01 0",                         // bad offset
+		"1000-2000 rw-p 00000000 00:01 nonum",                // bad inode
+		"1000-2000 rw-p 00000000 00:01",                      // truncated
+		"ffffffffffffffff0-0 rw-p 0 00:01 0",                 // hex overflow
+		"1000-2000 rw-p 00000000 00:01 99999999999999999999", // dec overflow
+	}
+	for _, s := range bad {
+		if _, err := Parse([]byte(s)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestMappingPages(t *testing.T) {
+	m := Mapping{Start: 0x1000, End: 0x5000}
+	if got := m.Pages(4096); got != 4 {
+		t.Fatalf("Pages = %d, want 4", got)
+	}
+}
+
+// Round-trip: whatever vmsim renders, we parse back to the same layout.
+func TestRoundTripWithVmsim(t *testing.T) {
+	k := vmsim.NewKernel(0)
+	f, err := k.CreateFile("col0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := k.NewAddressSpace()
+	addr, err := as.MmapAnon(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scattered rewirings to force interesting VMA structure.
+	for i := 0; i < 10; i++ {
+		if err := as.MmapFileFixed(addr+vmsim.Addr(3*i*vmsim.PageSize), f, 6*i, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ms, err := Parse(as.RenderMaps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromSim []Mapping
+	as.EachVMA(func(v vmsim.VMA) bool {
+		fromSim = append(fromSim, Mapping{Start: uint64(v.Start()), End: uint64(v.End())})
+		return true
+	})
+	if len(ms) != len(fromSim) {
+		t.Fatalf("parsed %d mappings, sim has %d VMAs", len(ms), len(fromSim))
+	}
+	for i := range ms {
+		if ms[i].Start != fromSim[i].Start || ms[i].End != fromSim[i].End {
+			t.Errorf("mapping %d: parsed %#x-%#x, sim %#x-%#x",
+				i, ms[i].Start, ms[i].End, fromSim[i].Start, fromSim[i].End)
+		}
+	}
+	// File-backed lines carry the right inode and offset.
+	for _, m := range ms {
+		if m.Path == "/dev/shm/col0" {
+			if m.Inode != f.Inode() {
+				t.Errorf("inode %d, want %d", m.Inode, f.Inode())
+			}
+			if m.Offset%vmsim.PageSize != 0 {
+				t.Errorf("unaligned offset %#x", m.Offset)
+			}
+		}
+	}
+}
+
+// Property: rendering N random mappings and parsing yields N mappings with
+// identical address ranges.
+func TestQuickRenderParse(t *testing.T) {
+	f := func(starts []uint32) bool {
+		var sb strings.Builder
+		var want []uint64
+		used := map[uint64]bool{}
+		for _, s := range starts {
+			lo := (uint64(s) + 1) * 0x10000
+			if used[lo] {
+				continue
+			}
+			used[lo] = true
+			hi := lo + 0x3000
+			fmt.Fprintf(&sb, "%012x-%012x rw-s %08x 00:01 7 /dev/shm/x\n", lo, hi, uint64(s)*4096)
+			want = append(want, lo)
+		}
+		ms, err := Parse([]byte(sb.String()))
+		if err != nil || len(ms) != len(want) {
+			return false
+		}
+		for i := range ms {
+			if ms[i].Start != want[i] || ms[i].End != want[i]+0x3000 || ms[i].Inode != 7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkParse10kLines(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 10000; i++ {
+		lo := uint64(0x7f0000000000 + i*0x2000)
+		fmt.Fprintf(&sb, "%012x-%012x rw-s %08x 00:01 42 /dev/shm/col\n", lo, lo+0x1000, i*4096)
+	}
+	data := []byte(sb.String())
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+// Package storage materializes physical columns on simulated main-memory
+// files and provides the low-level page layout and scan primitives that
+// both the explicit-index baselines and the virtual storage views build on.
+//
+// Layout (§2): a column is a sequence of 4 KiB pages on a main-memory
+// file. "As partial views might map to arbitrary subsets of the physical
+// column, we have to embed an 8B pageID at the beginning of each physical
+// page" — so every page starts with an 8-byte little-endian pageID that
+// lets a partial-view scan identify which tuples the page's values belong
+// to. We additionally reserve two 8-byte zone fields (the page's minimum
+// and maximum value) in the header: the "Zone Map" baseline of §3.1 stores
+// its metadata "in-place at the beginning of the page, before the actual
+// values", and carrying the fields in the common layout lets every §3.1
+// variant operate on the same column. The adaptive layer itself never
+// reads the zones (a documented divergence: 509 instead of 511 values per
+// page, see DESIGN.md §4).
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/asv-db/asv/internal/dist"
+	"github.com/asv-db/asv/internal/vmsim"
+)
+
+const (
+	// PageSize re-exports the simulator's page size.
+	PageSize = vmsim.PageSize
+	// HeaderSize is the embedded page header: 8-byte pageID (§2) plus the
+	// 8-byte zone minimum and maximum used by the zone-map baseline (§3.1).
+	HeaderSize = 24
+	// ValuesPerPage is the number of 8-byte values per page after the
+	// header: (4096-24)/8 = 509.
+	ValuesPerPage = (PageSize - HeaderSize) / 8
+)
+
+// PageID reads the embedded pageID header.
+func PageID(page []byte) uint64 {
+	return binary.LittleEndian.Uint64(page[:8])
+}
+
+// SetPageID writes the embedded pageID header.
+func SetPageID(page []byte, id uint64) {
+	binary.LittleEndian.PutUint64(page[:8], id)
+}
+
+// Zone reads the in-page zone fields: the smallest and largest value the
+// page has ever held. Zones are maintained conservatively — overwrites
+// only enlarge them — so they may overapproximate after updates, exactly
+// like classical zone maps.
+func Zone(page []byte) (min, max uint64) {
+	return binary.LittleEndian.Uint64(page[8:16]), binary.LittleEndian.Uint64(page[16:24])
+}
+
+// SetZone writes the in-page zone fields.
+func SetZone(page []byte, min, max uint64) {
+	binary.LittleEndian.PutUint64(page[8:16], min)
+	binary.LittleEndian.PutUint64(page[16:24], max)
+}
+
+// enlargeZone grows the zone to include v.
+func enlargeZone(page []byte, v uint64) {
+	min, max := Zone(page)
+	if v < min {
+		binary.LittleEndian.PutUint64(page[8:16], v)
+	}
+	if v > max {
+		binary.LittleEndian.PutUint64(page[16:24], v)
+	}
+}
+
+// ValueAt reads value slot i of a page (0 <= i < ValuesPerPage).
+func ValueAt(page []byte, i int) uint64 {
+	off := HeaderSize + i*8
+	return binary.LittleEndian.Uint64(page[off : off+8])
+}
+
+// SetValueAt writes value slot i of a page.
+func SetValueAt(page []byte, i int, v uint64) {
+	off := HeaderSize + i*8
+	binary.LittleEndian.PutUint64(page[off:off+8], v)
+}
+
+// PageScan is the result of filtering one page against a range predicate.
+// Beyond the qualifying count and sum it reports the boundary values the
+// adaptive layer needs for candidate-range extension (§2.2): the largest
+// on-page value strictly below the predicate and the smallest strictly
+// above it.
+type PageScan struct {
+	Count    int    // qualifying values
+	Sum      uint64 // sum of qualifying values (wrapping; a checkable aggregate)
+	MaxBelow uint64 // largest value < lo, valid if HasBelow
+	MinAbove uint64 // smallest value > hi, valid if HasAbove
+	HasBelow bool
+	HasAbove bool
+}
+
+// ScanFilter scans all value slots of a page against [lo, hi] (inclusive).
+func ScanFilter(page []byte, lo, hi uint64) PageScan {
+	var s PageScan
+	for i := 0; i < ValuesPerPage; i++ {
+		v := binary.LittleEndian.Uint64(page[HeaderSize+i*8 : HeaderSize+i*8+8])
+		switch {
+		case v < lo:
+			if !s.HasBelow || v > s.MaxBelow {
+				s.MaxBelow = v
+				s.HasBelow = true
+			}
+		case v > hi:
+			if !s.HasAbove || v < s.MinAbove {
+				s.MinAbove = v
+				s.HasAbove = true
+			}
+		default:
+			s.Count++
+			s.Sum += v
+		}
+	}
+	return s
+}
+
+// PageMinMax returns the smallest and largest value on the page (used to
+// build zone maps).
+func PageMinMax(page []byte) (min, max uint64) {
+	min = ^uint64(0)
+	for i := 0; i < ValuesPerPage; i++ {
+		v := binary.LittleEndian.Uint64(page[HeaderSize+i*8 : HeaderSize+i*8+8])
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// CollectMatches calls emit(slot, value) for every qualifying slot of the
+// page, for callers that materialize row results rather than aggregates.
+func CollectMatches(page []byte, lo, hi uint64, emit func(slot int, v uint64)) {
+	for i := 0; i < ValuesPerPage; i++ {
+		v := binary.LittleEndian.Uint64(page[HeaderSize+i*8 : HeaderSize+i*8+8])
+		if v >= lo && v <= hi {
+			emit(i, v)
+		}
+	}
+}
+
+// Column is a physical column: numPages pages on a main-memory file, plus
+// the always-present full virtual view v[-inf,inf] mapping the whole file
+// in order (§2 component (a) and the first element of component (b)).
+type Column struct {
+	kernel   *vmsim.Kernel
+	as       *vmsim.AddressSpace
+	file     *vmsim.File
+	name     string
+	numPages int
+	fullAddr vmsim.Addr
+
+	// tlb caches the resolved page slice per full-view page. The full
+	// view's mapping is immutable for the column's lifetime, so the cache
+	// is exact. As with view.View's soft-TLB, this models the hardware
+	// MMU/TLB: on the paper's system a full-view access costs no software
+	// translation, and charging one per page here would distort every
+	// scan-path comparison (and serialize concurrent mapping against
+	// scanning on the simulated page-table lock).
+	tlb [][]byte
+}
+
+// NewColumn creates the file, stamps every page's pageID header, and maps
+// the full view.
+func NewColumn(k *vmsim.Kernel, as *vmsim.AddressSpace, name string, numPages int) (*Column, error) {
+	if numPages <= 0 {
+		return nil, fmt.Errorf("storage: column needs at least one page, got %d", numPages)
+	}
+	f, err := k.CreateFile(name, numPages)
+	if err != nil {
+		return nil, err
+	}
+	addr, err := as.MmapFile(f, 0, numPages)
+	if err != nil {
+		_ = k.RemoveFile(name)
+		return nil, err
+	}
+	c := &Column{
+		kernel: k, as: as, file: f, name: name,
+		numPages: numPages, fullAddr: addr,
+		tlb: make([][]byte, numPages),
+	}
+	for p := 0; p < numPages; p++ {
+		pg, err := c.PageBytes(p)
+		if err != nil {
+			return nil, err
+		}
+		SetPageID(pg, uint64(p))
+	}
+	return c, nil
+}
+
+// Fill populates every page's values from the generator and stamps exact
+// zone fields.
+func (c *Column) Fill(g dist.Generator) error {
+	buf := make([]uint64, ValuesPerPage)
+	for p := 0; p < c.numPages; p++ {
+		g.FillPage(p, buf)
+		pg, err := c.PageBytes(p)
+		if err != nil {
+			return err
+		}
+		min, max := buf[0], buf[0]
+		for i, v := range buf {
+			SetValueAt(pg, i, v)
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		SetZone(pg, min, max)
+	}
+	return nil
+}
+
+// NumPages returns the column length in pages.
+func (c *Column) NumPages() int { return c.numPages }
+
+// Rows returns the number of value slots in the column.
+func (c *Column) Rows() int { return c.numPages * ValuesPerPage }
+
+// Name returns the column (file) name.
+func (c *Column) Name() string { return c.name }
+
+// File returns the backing main-memory file.
+func (c *Column) File() *vmsim.File { return c.file }
+
+// Space returns the address space the column's views live in.
+func (c *Column) Space() *vmsim.AddressSpace { return c.as }
+
+// Kernel returns the owning simulated kernel.
+func (c *Column) Kernel() *vmsim.Kernel { return c.kernel }
+
+// FullViewAddr returns the base address of the full view.
+func (c *Column) FullViewAddr() vmsim.Addr { return c.fullAddr }
+
+// PageBytes returns physical page pageID accessed through the full view —
+// a virtual-memory access whose translation is served from the column's
+// soft-TLB after the first touch.
+func (c *Column) PageBytes(pageID int) ([]byte, error) {
+	if pageID < 0 || pageID >= c.numPages {
+		return nil, fmt.Errorf("storage: page %d out of range [0,%d)", pageID, c.numPages)
+	}
+	if pg := c.tlb[pageID]; pg != nil {
+		return pg, nil
+	}
+	pg, err := c.as.PageData(vmsim.VPN(c.fullAddr>>vmsim.PageShift) + vmsim.VPN(pageID))
+	if err != nil {
+		return nil, err
+	}
+	c.tlb[pageID] = pg
+	return pg, nil
+}
+
+// RowLocation splits a row index into (pageID, slot).
+func (c *Column) RowLocation(row int) (pageID, slot int, err error) {
+	if row < 0 || row >= c.Rows() {
+		return 0, 0, fmt.Errorf("storage: row %d out of range [0,%d)", row, c.Rows())
+	}
+	return row / ValuesPerPage, row % ValuesPerPage, nil
+}
+
+// Value reads one row through the full view.
+func (c *Column) Value(row int) (uint64, error) {
+	p, s, err := c.RowLocation(row)
+	if err != nil {
+		return 0, err
+	}
+	pg, err := c.PageBytes(p)
+	if err != nil {
+		return 0, err
+	}
+	return ValueAt(pg, s), nil
+}
+
+// SetValue writes one row through the full view and returns the previous
+// value — updates "happen through the full views" (§2.4), and the (row,
+// old, new) triple is exactly what the update batches of §2.4 carry.
+func (c *Column) SetValue(row int, v uint64) (old uint64, err error) {
+	p, s, err := c.RowLocation(row)
+	if err != nil {
+		return 0, err
+	}
+	pg, err := c.PageBytes(p)
+	if err != nil {
+		return 0, err
+	}
+	old = ValueAt(pg, s)
+	SetValueAt(pg, s, v)
+	enlargeZone(pg, v)
+	return old, nil
+}
+
+// FullScan answers a range query [lo, hi] by scanning every page through
+// the full view. This is the paper's baseline ("Baseline: Fullscan time").
+func (c *Column) FullScan(lo, hi uint64) (count int, sum uint64, err error) {
+	for p := 0; p < c.numPages; p++ {
+		pg, err := c.PageBytes(p)
+		if err != nil {
+			return 0, 0, err
+		}
+		s := ScanFilter(pg, lo, hi)
+		count += s.Count
+		sum += s.Sum
+	}
+	return count, sum, nil
+}
+
+// Close unmaps the full view and removes the backing file. The caller must
+// have destroyed all partial views first.
+func (c *Column) Close() error {
+	if err := c.as.MunmapPages(c.fullAddr, c.numPages); err != nil {
+		return err
+	}
+	return c.kernel.RemoveFile(c.name)
+}

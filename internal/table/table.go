@@ -1,0 +1,217 @@
+// Package table assembles per-column adaptive engines into multi-column
+// tables — the full picture of the paper's Figure 1, where every column of
+// a table carries its own physical column, full view, and adaptively
+// maintained partial views.
+//
+// Conjunctive range predicates over several columns are answered by
+// routing each predicate to its column's best view(s), materializing the
+// qualifying row sets (row identity comes from the embedded pageIDs, so
+// scattered partial views produce correct row IDs), and intersecting them.
+// Each per-column scan adapts that column's view set as a side product,
+// exactly as single-column queries do.
+package table
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/asv-db/asv/internal/core"
+	"github.com/asv-db/asv/internal/storage"
+	"github.com/asv-db/asv/internal/vmsim"
+)
+
+// Table is a set of equally-sized columns, each wrapped in an adaptive
+// storage layer.
+type Table struct {
+	name     string
+	numPages int
+	colNames []string
+	engines  map[string]*core.Engine
+}
+
+// New creates a table with the given columns, each numPages pages long.
+// All columns share the kernel and address space (as in the paper: one
+// process hosts the whole storage layer).
+func New(k *vmsim.Kernel, as *vmsim.AddressSpace, name string, numPages int,
+	colNames []string, cfg core.Config) (*Table, error) {
+	if len(colNames) == 0 {
+		return nil, fmt.Errorf("table: %q needs at least one column", name)
+	}
+	t := &Table{
+		name:     name,
+		numPages: numPages,
+		colNames: append([]string(nil), colNames...),
+		engines:  make(map[string]*core.Engine, len(colNames)),
+	}
+	for _, cn := range colNames {
+		if _, dup := t.engines[cn]; dup {
+			_ = t.Close()
+			return nil, fmt.Errorf("table: duplicate column %q", cn)
+		}
+		col, err := storage.NewColumn(k, as, name+"."+cn, numPages)
+		if err != nil {
+			_ = t.Close()
+			return nil, err
+		}
+		eng, err := core.NewEngine(col, cfg)
+		if err != nil {
+			_ = col.Close()
+			_ = t.Close()
+			return nil, err
+		}
+		t.engines[cn] = eng
+	}
+	return t, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Columns returns the column names in declaration order.
+func (t *Table) Columns() []string { return t.colNames }
+
+// Rows returns the number of rows (identical across columns).
+func (t *Table) Rows() int { return t.numPages * storage.ValuesPerPage }
+
+// NumPages returns the per-column page count.
+func (t *Table) NumPages() int { return t.numPages }
+
+// Engine returns the adaptive engine of one column.
+func (t *Table) Engine(column string) (*core.Engine, error) {
+	e, ok := t.engines[column]
+	if !ok {
+		return nil, fmt.Errorf("table: %q has no column %q", t.name, column)
+	}
+	return e, nil
+}
+
+// Predicate is an inclusive range condition on one column.
+type Predicate struct {
+	Column string
+	Lo, Hi uint64
+}
+
+// String renders the predicate.
+func (p Predicate) String() string {
+	return fmt.Sprintf("%s in [%d, %d]", p.Column, p.Lo, p.Hi)
+}
+
+// SelectResult reports a conjunctive selection along with per-column
+// telemetry.
+type SelectResult struct {
+	Rows         *core.RowSet
+	PagesScanned int // across all predicate scans
+	ViewsUsed    int // across all predicate scans
+}
+
+// Select answers the conjunction of the given predicates (logical AND) and
+// returns the qualifying row set. Duplicate predicates on the same column
+// are intersected like any others. Predicates are evaluated one column at
+// a time with early exit once the intersection is empty; each evaluation
+// adapts that column's view set.
+func (t *Table) Select(preds []Predicate) (*SelectResult, error) {
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("table: empty predicate list")
+	}
+	// Validate all columns up front so errors do not depend on evaluation
+	// order.
+	for _, p := range preds {
+		if _, err := t.Engine(p.Column); err != nil {
+			return nil, err
+		}
+	}
+	// Evaluate narrower predicates first: their row sets are (heuristically)
+	// smaller, making the early-exit more likely. Stable order keeps
+	// results deterministic.
+	ordered := append([]Predicate(nil), preds...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].Hi-ordered[i].Lo < ordered[j].Hi-ordered[j].Lo
+	})
+
+	out := &SelectResult{}
+	var acc *core.RowSet
+	for _, p := range ordered {
+		eng := t.engines[p.Column]
+		rs, qr, err := eng.QueryRows(p.Lo, p.Hi)
+		if err != nil {
+			return nil, fmt.Errorf("table: predicate %s: %w", p, err)
+		}
+		out.PagesScanned += qr.PagesScanned
+		out.ViewsUsed += qr.ViewsUsed
+		if acc == nil {
+			acc = rs
+		} else {
+			acc.Intersect(rs)
+		}
+		if acc.Len() == 0 {
+			break
+		}
+	}
+	out.Rows = acc
+	return out, nil
+}
+
+// Count returns the number of rows matching the conjunction.
+func (t *Table) Count(preds []Predicate) (int, error) {
+	res, err := t.Select(preds)
+	if err != nil {
+		return 0, err
+	}
+	return res.Rows.Len(), nil
+}
+
+// Get materializes the named column values of one row.
+func (t *Table) Get(row int, columns []string) ([]uint64, error) {
+	out := make([]uint64, len(columns))
+	for i, cn := range columns {
+		eng, err := t.Engine(cn)
+		if err != nil {
+			return nil, err
+		}
+		v, err := eng.Column().Value(row)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Update overwrites one value and buffers the change for the column's next
+// flush (queries auto-flush).
+func (t *Table) Update(column string, row int, value uint64) error {
+	eng, err := t.Engine(column)
+	if err != nil {
+		return err
+	}
+	return eng.Update(row, value)
+}
+
+// FlushUpdates realigns the views of every column with its pending batch.
+func (t *Table) FlushUpdates() error {
+	for _, cn := range t.colNames {
+		if _, err := t.engines[cn].FlushUpdates(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases every column's engine and storage.
+func (t *Table) Close() error {
+	var firstErr error
+	for _, cn := range t.colNames {
+		eng, ok := t.engines[cn]
+		if !ok {
+			continue
+		}
+		if err := eng.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := eng.Column().Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(t.engines, cn)
+	}
+	return firstErr
+}

@@ -1,0 +1,80 @@
+package view
+
+import (
+	"github.com/asv-db/asv/internal/storage"
+)
+
+// Create builds a partial view covering [lo, hi] by scanning the column's
+// full view — the standalone creation path used by the micro-benchmarks
+// (§3.1, §3.3) and by view rebuilds. The adaptive engine instead drives a
+// Builder directly, fusing creation into query answering (Listing 1).
+//
+// The returned view's range is extended to [l'+1, u'-1] per §2.2: l' is
+// the largest value below lo and u' the smallest value above hi observed
+// on non-qualifying pages, so every value strictly between them lives on
+// an indexed page.
+func Create(col *storage.Column, lo, hi uint64, opts CreateOptions, mapper *Mapper) (*View, error) {
+	b, err := NewBuilder(col, opts, mapper)
+	if err != nil {
+		return nil, err
+	}
+	ext := NewRangeExtender(lo, hi)
+	for p := 0; p < col.NumPages(); p++ {
+		pg, err := col.PageBytes(p)
+		if err != nil {
+			_ = b.Abort()
+			return nil, err
+		}
+		s := storage.ScanFilter(pg, lo, hi)
+		if s.Count > 0 {
+			b.AddPage(p)
+		} else {
+			ext.ObserveExcluded(s)
+		}
+	}
+	cLo, cHi := ext.Range()
+	return b.Finish(cLo, cHi)
+}
+
+// RangeExtender accumulates the candidate-range extension of §2.2 across
+// the non-qualifying pages of a scan: it tracks the largest observed value
+// l' < lo and the smallest u' > hi on excluded pages; all values strictly
+// between l' and u' must then live on qualifying pages, so the new view
+// may claim [l'+1, u'-1].
+type RangeExtender struct {
+	lo, hi             uint64
+	maxBelow, minAbove uint64
+	hasBelow, hasAbove bool
+}
+
+// NewRangeExtender starts an extension for a query range [lo, hi].
+func NewRangeExtender(lo, hi uint64) *RangeExtender {
+	return &RangeExtender{lo: lo, hi: hi}
+}
+
+// ObserveExcluded folds in the scan result of a non-qualifying page.
+func (e *RangeExtender) ObserveExcluded(s storage.PageScan) {
+	if s.HasBelow && (!e.hasBelow || s.MaxBelow > e.maxBelow) {
+		e.maxBelow = s.MaxBelow
+		e.hasBelow = true
+	}
+	if s.HasAbove && (!e.hasAbove || s.MinAbove < e.minAbove) {
+		e.minAbove = s.MinAbove
+		e.hasAbove = true
+	}
+}
+
+// Range returns the extended range [l'+1, u'-1]. With no excluded pages
+// observed on a side, that side extends to the domain boundary; callers
+// that scanned only part of the column must clamp the result to the range
+// their sources cover (the engine clamps to the source views' interval).
+func (e *RangeExtender) Range() (uint64, uint64) {
+	lo, hi := uint64(0), ^uint64(0)
+	if e.hasBelow {
+		lo = e.maxBelow + 1 // maxBelow < e.lo <= MaxUint64, no overflow
+	}
+	if e.hasAbove {
+		hi = e.minAbove - 1 // minAbove > e.hi >= 0, no underflow
+	}
+	return lo, hi
+}

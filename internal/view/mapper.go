@@ -1,0 +1,96 @@
+package view
+
+import (
+	"sync"
+
+	"github.com/asv-db/asv/internal/cqueue"
+	"github.com/asv-db/asv/internal/vmsim"
+)
+
+// Request asks the mapping thread to rewire Pages virtual pages starting
+// at Addr to file pages [FilePage, FilePage+Pages). Done is invoked with
+// the mmap result after the call completes.
+type Request struct {
+	AS       *vmsim.AddressSpace
+	Addr     vmsim.Addr
+	File     *vmsim.File
+	FilePage int
+	Pages    int
+	Done     func(error)
+}
+
+// Mapper is the separate mapping thread of §2.3: "Instead of letting the
+// scanning thread map each qualifying page, it only inserts a request to
+// map the physical page into a concurrent queue ... A separate mapping
+// thread constantly polls this queue and performs the actual mmap() calls."
+//
+// One Mapper serves arbitrarily many view builders; requests carry their
+// own completion callbacks, and each builder waits only for its own.
+type Mapper struct {
+	q    *cqueue.Queue[Request]
+	done chan struct{}
+}
+
+// NewMapper starts a mapping thread with the given queue capacity
+// (capacity <= 0 selects 1024).
+func NewMapper(capacity int) *Mapper {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	m := &Mapper{
+		q:    cqueue.New[Request](capacity),
+		done: make(chan struct{}),
+	}
+	go m.loop()
+	return m
+}
+
+func (m *Mapper) loop() {
+	defer close(m.done)
+	for {
+		r, ok := m.q.Pop()
+		if !ok {
+			return
+		}
+		err := r.AS.MmapFileFixed(r.Addr, r.File, r.FilePage, r.Pages)
+		if r.Done != nil {
+			r.Done(err)
+		}
+	}
+}
+
+// Enqueue submits a request, blocking while the queue is full. It returns
+// cqueue.ErrClosed after Stop.
+func (m *Mapper) Enqueue(r Request) error {
+	return m.q.Push(r)
+}
+
+// Stop drains outstanding requests and terminates the mapping thread.
+// Safe to call more than once.
+func (m *Mapper) Stop() {
+	m.q.Close()
+	<-m.done
+}
+
+// firstErr retains the first error reported to it; safe for concurrent use.
+type firstErr struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (f *firstErr) set(err error) {
+	if err == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+func (f *firstErr) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}

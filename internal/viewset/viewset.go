@@ -1,0 +1,297 @@
+// Package viewset maintains the set of virtual views of a column and
+// implements the paper's query routing (§2.1) and view retention policy
+// (§2.2, Listing 1 lines 21–32).
+//
+// The set always contains the full view v[-inf,inf]; partial views are
+// suggested by the adaptive engine after each query and are inserted,
+// replace an existing view, or are discarded according to the subset /
+// superset rules with the user-set discard tolerance d and replacement
+// tolerance r.
+package viewset
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/asv-db/asv/internal/view"
+)
+
+// Decision is the outcome of suggesting a candidate view to the set.
+type Decision int
+
+const (
+	// Inserted: the candidate became a new partial view.
+	Inserted Decision = iota
+	// Replaced: the candidate replaced an existing partial view whose
+	// range it covers at similar cost (Listing 1 lines 28–31).
+	Replaced
+	// DiscardedNotSmaller: the candidate indexes at least as many pages as
+	// the full view, so it cannot beat a full scan (line 22).
+	DiscardedNotSmaller
+	// DiscardedSubset: the candidate covers a subset of an existing view
+	// while indexing a similar number of pages (lines 24–27).
+	DiscardedSubset
+	// DiscardedLimit: the maximum number of views is reached; the set
+	// freezes and no further candidates will be generated (§2.2).
+	DiscardedLimit
+	// Evicted: the view limit was reached under the EvictLRU policy; the
+	// least-recently-routed partial view made room for the candidate.
+	Evicted
+)
+
+// String renders the decision for logs and reports.
+func (d Decision) String() string {
+	switch d {
+	case Inserted:
+		return "inserted"
+	case Replaced:
+		return "replaced"
+	case DiscardedNotSmaller:
+		return "discarded(not-smaller-than-full)"
+	case DiscardedSubset:
+		return "discarded(subset-of-existing)"
+	case DiscardedLimit:
+		return "discarded(view-limit)"
+	case Evicted:
+		return "inserted(evicted-lru)"
+	default:
+		return fmt.Sprintf("Decision(%d)", int(d))
+	}
+}
+
+// LimitPolicy selects the behaviour when the view limit is reached.
+type LimitPolicy int
+
+const (
+	// Freeze stops candidate generation for good — the paper's behaviour:
+	// "If the limit has been reached already, we stop the generation of
+	// new partial views altogether" (§2.2).
+	Freeze LimitPolicy = iota
+	// EvictLRU evicts the least-recently-routed partial view to admit the
+	// candidate, keeping the layer adaptive under drifting workloads.
+	EvictLRU
+)
+
+// String renders the policy name.
+func (p LimitPolicy) String() string {
+	switch p {
+	case Freeze:
+		return "freeze"
+	case EvictLRU:
+		return "evict-lru"
+	default:
+		return fmt.Sprintf("LimitPolicy(%d)", int(p))
+	}
+}
+
+// Set is the view index of one column.
+type Set struct {
+	full        *view.View
+	partials    []*view.View
+	maxViews    int
+	discardTol  int // d: pages of slack when discarding subsets
+	replaceTol  int // r: pages of slack when replacing supersets
+	frozen      bool
+	limitPolicy LimitPolicy
+
+	clock    uint64                // logical routing clock for LRU
+	lastUsed map[*view.View]uint64 // last routing tick per partial view
+}
+
+// New creates a set holding the column's full view. maxViews bounds the
+// number of partial views; discardTol and replaceTol are the paper's d and
+// r (both 0 in all paper experiments, §3). The limit policy defaults to
+// Freeze (the paper's behaviour); see SetLimitPolicy.
+func New(full *view.View, maxViews, discardTol, replaceTol int) *Set {
+	if maxViews < 0 {
+		maxViews = 0
+	}
+	return &Set{
+		full:       full,
+		maxViews:   maxViews,
+		discardTol: discardTol,
+		replaceTol: replaceTol,
+		lastUsed:   make(map[*view.View]uint64),
+	}
+}
+
+// SetLimitPolicy selects the behaviour when the view limit is hit.
+func (s *Set) SetLimitPolicy(p LimitPolicy) { s.limitPolicy = p }
+
+// touch records a routing hit for LRU accounting.
+func (s *Set) touch(v *view.View) {
+	if !v.Full() {
+		s.lastUsed[v] = s.clock
+	}
+}
+
+// Full returns the full view.
+func (s *Set) Full() *view.View { return s.full }
+
+// Partials returns the current partial views (shared slice; do not modify).
+func (s *Set) Partials() []*view.View { return s.partials }
+
+// Len returns the number of partial views.
+func (s *Set) Len() int { return len(s.partials) }
+
+// Frozen reports whether the view limit was hit, which stops all further
+// candidate generation: "If the limit has been reached already, we stop
+// the generation of new partial views altogether" (§2.2).
+func (s *Set) Frozen() bool { return s.frozen }
+
+// RouteSingle implements single-view mode (§2.1): among the views that
+// fully cover [lo, hi], return the one indexing the fewest physical pages.
+// The full view always qualifies, so the result is never nil.
+func (s *Set) RouteSingle(lo, hi uint64) *view.View {
+	s.clock++
+	best := s.full
+	for _, v := range s.partials {
+		if v.Covers(lo, hi) && v.NumPages() < best.NumPages() {
+			best = v
+		}
+	}
+	s.touch(best)
+	return best
+}
+
+// RouteMulti implements multi-view mode (§2.1): find a set of partial
+// views that fully cover [lo, hi] in conjunction. Following the paper —
+// "the system tries to answer a query using multiple views if possible,
+// instead of directing the query to a single (potentially larger) view" —
+// the greedy pass repeatedly picks, among the views covering the first
+// uncovered point, the one indexing the fewest physical pages (furthest
+// reach breaks ties). Shared pages between the chosen views are
+// deduplicated by the caller's processed-pages bitvector, so a chain of
+// small overlapping views scans at most their page union. RouteMulti
+// returns nil when the partial views cannot cover the range; the caller
+// then falls back to RouteSingle.
+func (s *Set) RouteMulti(lo, hi uint64) []*view.View {
+	s.clock++
+	var out []*view.View
+	c := lo
+	for {
+		var best *view.View
+		for _, v := range s.partials {
+			if v.Lo() <= c && c <= v.Hi() {
+				if best == nil || v.NumPages() < best.NumPages() ||
+					(v.NumPages() == best.NumPages() && v.Hi() > best.Hi()) {
+					best = v
+				}
+			}
+		}
+		if best == nil {
+			return nil
+		}
+		out = append(out, best)
+		s.touch(best)
+		if best.Hi() >= hi {
+			return out
+		}
+		c = best.Hi() + 1 // best.Hi() < hi <= MaxUint64: no overflow
+	}
+}
+
+// Consider runs the retention decision of Listing 1 (lines 21–32) for a
+// finished candidate view. It returns the decision and, for Replaced, the
+// displaced view — the caller is responsible for releasing the candidate
+// on any Discarded* decision and the displaced view on Replaced.
+func (s *Set) Consider(cand *view.View) (Decision, *view.View) {
+	if cand.NumPages() >= s.full.NumPages() {
+		return DiscardedNotSmaller, nil
+	}
+	for i, pv := range s.partials {
+		if cand.CoversSubsetOf(pv) && cand.NumPages() >= pv.NumPages()-s.discardTol {
+			// Smaller range at similar cost: less useful than what exists.
+			return DiscardedSubset, nil
+		}
+		if cand.CoversSupersetOf(pv) && cand.NumPages() <= pv.NumPages()+s.replaceTol {
+			// Wider range at similar cost: strictly more useful.
+			old := s.partials[i]
+			s.partials[i] = cand
+			s.lastUsed[cand] = s.lastUsed[old]
+			delete(s.lastUsed, old)
+			return Replaced, old
+		}
+	}
+	if len(s.partials) >= s.maxViews {
+		if s.limitPolicy == EvictLRU && len(s.partials) > 0 {
+			victimIdx := 0
+			for i, pv := range s.partials {
+				if s.lastUsed[pv] < s.lastUsed[s.partials[victimIdx]] {
+					victimIdx = i
+				}
+			}
+			victim := s.partials[victimIdx]
+			s.partials[victimIdx] = cand
+			delete(s.lastUsed, victim)
+			s.lastUsed[cand] = s.clock
+			return Evicted, victim
+		}
+		s.frozen = true
+		return DiscardedLimit, nil
+	}
+	s.partials = append(s.partials, cand)
+	s.lastUsed[cand] = s.clock
+	return Inserted, nil
+}
+
+// Insert adds a view unconditionally (used by rebuilds and by experiment
+// setup that creates views directly, §3.1/§3.4). It fails once maxViews is
+// reached.
+func (s *Set) Insert(v *view.View) error {
+	if len(s.partials) >= s.maxViews {
+		return fmt.Errorf("viewset: view limit %d reached", s.maxViews)
+	}
+	s.partials = append(s.partials, v)
+	return nil
+}
+
+// Clear removes and returns all partial views (the caller releases them)
+// and unfreezes the set. Used when rebuilding views from scratch.
+func (s *Set) Clear() []*view.View {
+	out := s.partials
+	s.partials = nil
+	s.frozen = false
+	s.lastUsed = make(map[*view.View]uint64)
+	return out
+}
+
+// CoveredInterval returns the maximal contiguous value interval containing
+// [lo, hi] that the given source views cover in conjunction. The adaptive
+// engine clamps candidate-range extension to this interval: pages outside
+// it were never scanned, so nothing may be claimed about them (§2.2).
+func (s *Set) CoveredInterval(sources []*view.View, lo, hi uint64) (uint64, uint64) {
+	type iv struct{ lo, hi uint64 }
+	ivs := make([]iv, 0, len(sources))
+	for _, v := range sources {
+		ivs = append(ivs, iv{v.Lo(), v.Hi()})
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	// Merge overlapping or adjacent intervals, keeping the one that
+	// contains [lo, hi].
+	var cur iv
+	have := false
+	for _, x := range ivs {
+		if !have {
+			cur, have = x, true
+			continue
+		}
+		adjacent := x.lo <= cur.hi || (cur.hi != ^uint64(0) && x.lo == cur.hi+1)
+		if adjacent {
+			if x.hi > cur.hi {
+				cur.hi = x.hi
+			}
+			continue
+		}
+		if cur.lo <= lo && hi <= cur.hi {
+			return cur.lo, cur.hi
+		}
+		cur = x
+	}
+	if have && cur.lo <= lo && hi <= cur.hi {
+		return cur.lo, cur.hi
+	}
+	// Sources do not contiguously cover the query (routing bug or caller
+	// misuse): claim nothing beyond the query itself.
+	return lo, hi
+}

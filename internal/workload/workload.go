@@ -1,0 +1,113 @@
+// Package workload generates the query sequences and update batches of the
+// paper's evaluation (§3), deterministically from a seed.
+package workload
+
+import (
+	"math"
+
+	"github.com/asv-db/asv/internal/xrand"
+)
+
+// Query is an inclusive range predicate.
+type Query struct {
+	Lo, Hi uint64
+}
+
+// Width returns the selected value-range width.
+func (q Query) Width() uint64 { return q.Hi - q.Lo }
+
+// SelectivitySweep generates the §3.2 single-view workload: n queries
+// whose selected value range shrinks step-wise (geometrically) from
+// maxWidth down to minWidth over the domain [0, domainHi], each placed at
+// a uniform position, then shuffled — "we generate a sequence of 250
+// queries which vary the selected value range step-wise from 50M (low
+// selectivity) down to 5000 (high selectivity). Before firing, we shuffle
+// the generated queries randomly."
+func SelectivitySweep(seed uint64, n int, domainHi, maxWidth, minWidth uint64) []Query {
+	if n <= 0 || minWidth == 0 || maxWidth < minWidth || maxWidth > domainHi {
+		panic("workload: bad selectivity sweep parameters")
+	}
+	rng := xrand.New(seed)
+	qs := make([]Query, n)
+	ratio := 1.0
+	if n > 1 {
+		ratio = math.Pow(float64(minWidth)/float64(maxWidth), 1/float64(n-1))
+	}
+	w := float64(maxWidth)
+	for i := range qs {
+		width := uint64(w)
+		if width < minWidth {
+			width = minWidth
+		}
+		lo := rng.Uint64n(domainHi - width + 1)
+		qs[i] = Query{Lo: lo, Hi: lo + width}
+		w *= ratio
+	}
+	rng.Shuffle(n, func(i, j int) { qs[i], qs[j] = qs[j], qs[i] })
+	return qs
+}
+
+// FixedSelectivity generates the §3.2 multi-view workload: n queries, each
+// selecting a range of selectivity sel (fraction of the value domain
+// [0, domainHi]) at a uniform position. "In this experiment, we fix the
+// selectivity."
+func FixedSelectivity(seed uint64, n int, domainHi uint64, sel float64) []Query {
+	if n <= 0 || sel <= 0 || sel > 1 {
+		panic("workload: bad fixed-selectivity parameters")
+	}
+	width := uint64(float64(domainHi) * sel)
+	if width == 0 {
+		width = 1
+	}
+	rng := xrand.New(seed)
+	qs := make([]Query, n)
+	for i := range qs {
+		lo := rng.Uint64n(domainHi - width + 1)
+		qs[i] = Query{Lo: lo, Hi: lo + width}
+	}
+	return qs
+}
+
+// PointUpdate describes one row overwrite to be applied.
+type PointUpdate struct {
+	Row   int
+	Value uint64
+}
+
+// UniformUpdates draws n updates at uniformly selected rows with uniform
+// new values in [valLo, valHi] — the update streams of §3.1 ("we also
+// update 10,000 uniformly selected entries") and §3.4.
+func UniformUpdates(seed uint64, n, rows int, valLo, valHi uint64) []PointUpdate {
+	if n < 0 || rows <= 0 || valLo > valHi {
+		panic("workload: bad update parameters")
+	}
+	rng := xrand.New(seed)
+	out := make([]PointUpdate, n)
+	for i := range out {
+		out[i] = PointUpdate{
+			Row:   rng.Intn(rows),
+			Value: rng.Uint64Range(valLo, valHi),
+		}
+	}
+	return out
+}
+
+// RandomSubranges draws n value ranges of the given width fraction of
+// [0, domainHi] at uniform positions — the five random 1/1024-wide view
+// ranges of the §3.4 update experiment.
+func RandomSubranges(seed uint64, n int, domainHi uint64, widthFrac float64) []Query {
+	if n <= 0 || widthFrac <= 0 || widthFrac > 1 {
+		panic("workload: bad subrange parameters")
+	}
+	width := uint64(float64(domainHi) * widthFrac)
+	if width == 0 {
+		width = 1
+	}
+	rng := xrand.New(seed)
+	out := make([]Query, n)
+	for i := range out {
+		lo := rng.Uint64n(domainHi - width + 1)
+		out[i] = Query{Lo: lo, Hi: lo + width}
+	}
+	return out
+}

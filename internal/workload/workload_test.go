@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestSelectivitySweepShape(t *testing.T) {
+	const n = 250
+	qs := SelectivitySweep(1, n, 100_000_000, 50_000_000, 5_000)
+	if len(qs) != n {
+		t.Fatalf("len = %d", len(qs))
+	}
+	var minW, maxW uint64 = ^uint64(0), 0
+	for _, q := range qs {
+		if q.Hi > 100_000_000 || q.Lo > q.Hi {
+			t.Fatalf("query out of domain: %+v", q)
+		}
+		w := q.Width()
+		if w < minW {
+			minW = w
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW != 50_000_000 {
+		t.Fatalf("max width %d, want 50M", maxW)
+	}
+	if minW > 5_100 || minW < 4_900 {
+		t.Fatalf("min width %d, want ~5000", minW)
+	}
+}
+
+func TestSelectivitySweepShuffled(t *testing.T) {
+	qs := SelectivitySweep(1, 250, 100_000_000, 50_000_000, 5_000)
+	// If widths were still sorted descending the sweep was not shuffled.
+	sortedDesc := true
+	for i := 1; i < len(qs); i++ {
+		if qs[i].Width() > qs[i-1].Width() {
+			sortedDesc = false
+			break
+		}
+	}
+	if sortedDesc {
+		t.Fatal("sweep not shuffled")
+	}
+}
+
+func TestSelectivitySweepDeterministic(t *testing.T) {
+	a := SelectivitySweep(7, 50, 1_000_000, 500_000, 100)
+	b := SelectivitySweep(7, 50, 1_000_000, 500_000, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed sweeps differ")
+		}
+	}
+}
+
+func TestFixedSelectivity(t *testing.T) {
+	qs := FixedSelectivity(3, 100, 100_000_000, 0.01)
+	for _, q := range qs {
+		if q.Width() != 1_000_000 {
+			t.Fatalf("width %d, want 1M", q.Width())
+		}
+		if q.Hi > 100_000_000 {
+			t.Fatalf("query exceeds domain: %+v", q)
+		}
+	}
+}
+
+func TestUniformUpdates(t *testing.T) {
+	ups := UniformUpdates(5, 1000, 12345, 10, 20)
+	if len(ups) != 1000 {
+		t.Fatalf("len = %d", len(ups))
+	}
+	for _, u := range ups {
+		if u.Row < 0 || u.Row >= 12345 {
+			t.Fatalf("row %d out of range", u.Row)
+		}
+		if u.Value < 10 || u.Value > 20 {
+			t.Fatalf("value %d out of range", u.Value)
+		}
+	}
+}
+
+func TestRandomSubranges(t *testing.T) {
+	rs := RandomSubranges(9, 5, 1<<40, 1.0/1024)
+	if len(rs) != 5 {
+		t.Fatalf("len = %d", len(rs))
+	}
+	want := uint64(float64(uint64(1)<<40) / 1024)
+	for _, r := range rs {
+		if r.Width() != want {
+			t.Fatalf("width %d, want %d", r.Width(), want)
+		}
+	}
+}
+
+func TestPanicsOnBadParameters(t *testing.T) {
+	cases := []func(){
+		func() { SelectivitySweep(1, 0, 100, 50, 5) },
+		func() { SelectivitySweep(1, 10, 100, 5, 50) },
+		func() { SelectivitySweep(1, 10, 100, 500, 5) },
+		func() { FixedSelectivity(1, 10, 100, 0) },
+		func() { FixedSelectivity(1, 10, 100, 1.5) },
+		func() { UniformUpdates(1, 5, 0, 0, 10) },
+		func() { UniformUpdates(1, 5, 10, 20, 10) },
+		func() { RandomSubranges(1, 0, 100, 0.5) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
