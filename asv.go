@@ -189,6 +189,44 @@ func Sparse(seed, lo, hi uint64, zeroFrac float64) Generator {
 	return dist.NewSparse(seed, lo, hi, zeroFrac)
 }
 
+// Zipf returns a generator with zipf-skewed value popularity over
+// [lo, hi]: low values are drawn far more often than high ones, with the
+// given skew exponent — web-style key popularity.
+func Zipf(seed, lo, hi uint64, skew float64) Generator {
+	return dist.NewZipf(seed, lo, hi, skew)
+}
+
+// Hotspot returns a generator where a contiguous hot region covering
+// hotFrac of the domain receives hotProb of all values and the rest is
+// uniform background.
+func Hotspot(seed, lo, hi uint64, hotFrac, hotProb float64) Generator {
+	return dist.NewHotspot(seed, lo, hi, hotFrac, hotProb)
+}
+
+// Clustered returns a generator where each page's values cluster in a
+// window of clusterFrac × the domain around a per-page random center —
+// locality without global order.
+func Clustered(seed, lo, hi uint64, clusterFrac float64) Generator {
+	return dist.NewClustered(seed, lo, hi, clusterFrac)
+}
+
+// Shifted returns a generator whose value window slides across the
+// domain and wraps every periodPages pages — a sawtooth counterpart to
+// Sine.
+func Shifted(seed, lo, hi uint64, periodPages int) Generator {
+	return dist.NewShifted(seed, lo, hi, periodPages)
+}
+
+// GeneratorByName resolves a distribution by name (see GeneratorNames)
+// over [lo, hi] for a column of `pages` pages, with scenario knobs at
+// their defaults.
+func GeneratorByName(name string, seed, lo, hi uint64, pages int) (Generator, error) {
+	return dist.ByName(name, seed, lo, hi, pages)
+}
+
+// GeneratorNames lists the distributions GeneratorByName resolves.
+func GeneratorNames() []string { return dist.Names() }
+
 // ViewInfo describes one partial view of a column.
 type ViewInfo struct {
 	Lo, Hi uint64 // covered value range (inclusive)
@@ -214,6 +252,11 @@ func (c *Column) Rows() int { return c.col.Rows() }
 
 // Fill populates the column from a generator.
 func (c *Column) Fill(g Generator) error { return c.col.Fill(g) }
+
+// FillParallel populates the column from a generator with page-sharded
+// workers (one per CPU). Generators are pure functions of (seed, page),
+// so the result is byte-identical to Fill — just faster on large columns.
+func (c *Column) FillParallel(g Generator) error { return c.col.FillParallel(g, 0) }
 
 // Value reads one row.
 func (c *Column) Value(row int) (uint64, error) { return c.col.Value(row) }

@@ -8,7 +8,8 @@
 //	asvbench -experiment all -format tsv      # everything, plot-ready TSV
 //	asvbench -experiment table1 -pages 262144 # larger scale
 //
-// Experiments: fig2, fig3, fig4a, fig4b, fig4c, fig5a, fig5b, fig6a,
+// Experiments: fig2, fig3, fig4a-f (d-f run the hotspot, clustered and
+// shifted scenario distributions beyond the paper), fig5a, fig5b, fig6a,
 // fig6b, fig7a, fig7b, table1, all. The default scale is 1/16 of the
 // paper's (65,536 pages ≈ 256 MiB per column); -pages 1048576 reproduces
 // the paper's full size if you have the memory and patience.
@@ -63,6 +64,15 @@ var experiments = []experiment{
 	}},
 	{"fig4c", "adaptive single-view, sparse", func(s harness.Scale) ([]*harness.Table, error) {
 		return seqTables(harness.RunFig4(s, "sparse"))
+	}},
+	{"fig4d", "adaptive single-view, hotspot (beyond the paper)", func(s harness.Scale) ([]*harness.Table, error) {
+		return seqTables(harness.RunFig4(s, "hotspot"))
+	}},
+	{"fig4e", "adaptive single-view, clustered (beyond the paper)", func(s harness.Scale) ([]*harness.Table, error) {
+		return seqTables(harness.RunFig4(s, "clustered"))
+	}},
+	{"fig4f", "adaptive single-view, shifted (beyond the paper)", func(s harness.Scale) ([]*harness.Table, error) {
+		return seqTables(harness.RunFig4(s, "shifted"))
 	}},
 	{"fig5a", "adaptive multi-view, sine, sel 1%", func(s harness.Scale) ([]*harness.Table, error) {
 		return seqTables(harness.RunFig5(s, 0.01, 200))

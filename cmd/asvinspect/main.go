@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"github.com/asv-db/asv/internal/core"
 	"github.com/asv-db/asv/internal/dist"
@@ -24,20 +26,21 @@ func main() {
 	var (
 		pages    = flag.Int("pages", 2048, "column size in 4KiB pages")
 		queries  = flag.Int("queries", 40, "number of adaptive queries to fire")
-		distName = flag.String("dist", "sine", "distribution: uniform, linear, sine, sparse")
+		distName = flag.String("dist", "sine", "distribution: "+strings.Join(dist.Names(), ", "))
 		mode     = flag.String("mode", "single", "routing mode: single or multi")
 		seed     = flag.Uint64("seed", 42, "workload seed")
 		showMaps = flag.Bool("maps", true, "print the rendered maps file")
+		parallel = flag.Bool("parallel", true, "fill the column with page-sharded workers")
 	)
 	flag.Parse()
 
-	if err := run(*pages, *queries, *distName, *mode, *seed, *showMaps); err != nil {
+	if err := run(*pages, *queries, *distName, *mode, *seed, *showMaps, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "asvinspect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(pages, queries int, distName, mode string, seed uint64, showMaps bool) error {
+func run(pages, queries int, distName, mode string, seed uint64, showMaps, parallel bool) error {
 	const domain = 100_000_000
 
 	kern := vmsim.NewKernel(0)
@@ -51,9 +54,16 @@ func run(pages, queries int, distName, mode string, seed uint64, showMaps bool) 
 	if err != nil {
 		return err
 	}
-	if err := col.Fill(g); err != nil {
+	t0 := time.Now()
+	if parallel {
+		err = col.FillParallel(g, 0)
+	} else {
+		err = col.Fill(g)
+	}
+	if err != nil {
 		return err
 	}
+	fillDur := time.Since(t0)
 
 	cfg := core.DefaultConfig()
 	if mode == "multi" {
@@ -67,8 +77,12 @@ func run(pages, queries int, distName, mode string, seed uint64, showMaps bool) 
 	}
 	defer eng.Close()
 
-	fmt.Printf("column: %d pages (%d rows), %s distribution over [0, %d]\n",
-		col.NumPages(), col.Rows(), distName, domain)
+	fill := "serial"
+	if parallel {
+		fill = "parallel"
+	}
+	fmt.Printf("column: %d pages (%d rows), %s distribution over [0, %d], %s fill in %s\n",
+		col.NumPages(), col.Rows(), distName, domain, fill, fillDur.Round(time.Microsecond))
 
 	qs := workload.SelectivitySweep(seed, queries, domain, domain/2, domain/1000)
 	for i, q := range qs {

@@ -1,0 +1,3 @@
+module github.com/asv-db/asv
+
+go 1.24

@@ -1,0 +1,135 @@
+package dist
+
+import "math"
+
+// ---------------------------------------------------------------------------
+// Uniform (Figures 3, 6a, 7a — the unclustered worst case).
+
+type uniform struct {
+	seed   uint64
+	lo, hi uint64
+}
+
+// NewUniform returns a generator drawing each value independently and
+// uniformly from [lo, hi].
+func NewUniform(seed, lo, hi uint64) Generator {
+	lo, hi = normBounds(lo, hi)
+	return &uniform{seed: seed, lo: lo, hi: hi}
+}
+
+func (g *uniform) FillPage(page int, out []uint64) {
+	r := pageRand(g.seed, page)
+	for i := range out {
+		out[i] = r.Uint64Range(g.lo, g.hi)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Linear (Figure 2a — perfectly clustered ramp).
+
+type linear struct {
+	seed     uint64
+	lo, hi   uint64
+	numPages int
+}
+
+// NewLinear returns a generator whose values grow linearly with the page
+// position: page p of numPages draws uniformly from the p-th of numPages
+// consecutive, disjoint slices of [lo, hi]. Page means therefore increase
+// strictly with p (perfect clustering), pages beyond numPages saturate at
+// the top slice.
+func NewLinear(seed, lo, hi uint64, numPages int) Generator {
+	lo, hi = normBounds(lo, hi)
+	if numPages <= 0 {
+		numPages = 1
+	}
+	return &linear{seed: seed, lo: lo, hi: hi, numPages: numPages}
+}
+
+// pageBounds returns the inclusive value slice of page p.
+func (g *linear) pageBounds(p int) (uint64, uint64) {
+	if p >= g.numPages {
+		p = g.numPages - 1
+	}
+	return sliceBounds(g.lo, g.hi, uint64(p), uint64(g.numPages))
+}
+
+func (g *linear) FillPage(page int, out []uint64) {
+	page = normPage(page)
+	r := pageRand(g.seed, page)
+	sliceLo, sliceHi := g.pageBounds(page)
+	for i := range out {
+		out[i] = r.Uint64Range(sliceLo, sliceHi)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sine (Figure 2b — periodically clustered, e.g. daily sensor cycles).
+
+type sine struct {
+	seed   uint64
+	lo, hi uint64
+	period int
+	amp    uint64
+}
+
+// NewSine returns a generator following a sine wave over the page
+// sequence with the given period in pages: page p's values cluster in a
+// narrow window (1/64 of the domain to each side) around the wave
+// position, so equal value ranges recur every periodPages pages.
+func NewSine(seed, lo, hi uint64, periodPages int) Generator {
+	lo, hi = normBounds(lo, hi)
+	if periodPages <= 0 {
+		periodPages = 1
+	}
+	return &sine{seed: seed, lo: lo, hi: hi, period: periodPages, amp: (hi - lo) / 64}
+}
+
+func (g *sine) FillPage(page int, out []uint64) {
+	page = normPage(page)
+	r := pageRand(g.seed, page)
+	phase := 2 * math.Pi * float64(page%g.period) / float64(g.period)
+	frac := 0.5 + 0.5*math.Sin(phase)
+	center := g.lo + scaleFrac(frac, g.hi-g.lo)
+	wlo, whi := windowAround(center, g.amp, g.lo, g.hi)
+	for i := range out {
+		out[i] = r.Uint64Range(wlo, whi)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sparse (Figure 2c — mostly-empty pages with uniform spikes).
+
+type sparse struct {
+	seed     uint64
+	lo, hi   uint64
+	zeroFrac float64
+}
+
+// NewSparse returns a generator where zeroFrac of all pages hold only the
+// domain floor lo (the paper's all-zero pages, since its domain starts at
+// 0) and the remaining pages hold values drawn uniformly from [lo, hi].
+// zeroFrac is clamped to [0, 1].
+func NewSparse(seed, lo, hi uint64, zeroFrac float64) Generator {
+	lo, hi = normBounds(lo, hi)
+	if !(zeroFrac > 0) { // also catches NaN
+		zeroFrac = 0
+	}
+	if zeroFrac > 1 {
+		zeroFrac = 1
+	}
+	return &sparse{seed: seed, lo: lo, hi: hi, zeroFrac: zeroFrac}
+}
+
+func (g *sparse) FillPage(page int, out []uint64) {
+	r := pageRand(g.seed, page)
+	if r.Float64() < g.zeroFrac {
+		for i := range out {
+			out[i] = g.lo
+		}
+		return
+	}
+	for i := range out {
+		out[i] = r.Uint64Range(g.lo, g.hi)
+	}
+}

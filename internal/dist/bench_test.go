@@ -1,0 +1,24 @@
+package dist
+
+import "testing"
+
+// BenchmarkDist_FillPage measures the per-page generation cost of every
+// registered distribution — the serial lower bound that
+// storage.Column.FillParallel divides across cores.
+func BenchmarkDist_FillPage(b *testing.B) {
+	const pages = 4096
+	for _, name := range Names() {
+		b.Run(name, func(b *testing.B) {
+			g, err := ByName(name, 1, 0, 100_000_000, pages)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out := make([]uint64, 509)
+			b.SetBytes(int64(len(out) * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.FillPage(i%pages, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,220 @@
+// Package dist generates the deterministic value distributions that drive
+// every experiment in this repository. The paper's evaluation (§3) lays
+// columns out page-wise in virtual memory and fills them with clustered
+// data — a linear ramp, a sine wave over the page sequence, sparse
+// all-zero pages (Figure 2) — plus uniform data for the worst-case
+// panels. On top of the paper's four distributions this package grows a
+// scenario family (zipf, hotspot, clustered, shifted) so new workloads
+// can be opened without touching the storage layer.
+//
+// Two properties are contractual for every Generator here:
+//
+//   - Determinism: FillPage is a pure function of (constructor arguments,
+//     page). The same seed produces byte-identical columns regardless of
+//     the order pages are filled in, which is what makes
+//     storage.Column.FillParallel both correct and reproducible.
+//   - Bounds: every generated value lies in [lo, hi] (inclusive). If a
+//     caller passes lo > hi the bounds are swapped rather than rejected,
+//     so no constructor can panic on hostile input.
+//
+// Because FillPage derives a fresh RNG from (seed, page) on every call
+// and keeps no mutable state, all generators in this package are safe for
+// concurrent FillPage calls on the same instance.
+package dist
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"github.com/asv-db/asv/internal/xrand"
+)
+
+// Generator produces column values one 509-value page at a time.
+// FillPage writes exactly len(out) values for page index `page` into out.
+// Implementations must be deterministic in (page, constructor args) and
+// safe for concurrent calls; see the package comment.
+type Generator interface {
+	FillPage(page int, out []uint64)
+}
+
+// Default parameters used when a distribution is resolved by name rather
+// than through its constructor (which exposes the knob).
+const (
+	// DefaultSinePeriod is the paper's sine cycle length: 100 pages
+	// (Figure 2b, "daily sensor cycles").
+	DefaultSinePeriod = 100
+	// DefaultSparseZeroFrac is the paper's sparse-page fraction: 90% of
+	// all pages hold only the domain floor (Figure 2c).
+	DefaultSparseZeroFrac = 0.9
+	// DefaultZipfSkew is the zipf exponent used by ByName.
+	DefaultZipfSkew = 1.1
+	// DefaultHotspotFrac is the fraction of the value domain that forms
+	// the hot region.
+	DefaultHotspotFrac = 0.1
+	// DefaultHotspotProb is the probability that a value lands in the hot
+	// region.
+	DefaultHotspotProb = 0.9
+	// DefaultClusterFrac is the width of a page's value cluster as a
+	// fraction of the domain.
+	DefaultClusterFrac = 1.0 / 64
+	// DefaultShiftPeriod is the page period after which the shifted
+	// window wraps around the domain.
+	DefaultShiftPeriod = 100
+)
+
+// factory builds a generator from the uniform ByName parameter set. pages
+// is the column length in pages, used by page-position-aware generators.
+type factory func(seed, lo, hi uint64, pages int) Generator
+
+// registry maps distribution names to their ByName constructors. New
+// scenario generators register here; the fig6/fig7 harness whitelists stay
+// intentionally narrower (they reproduce specific paper panels).
+var registry = map[string]factory{
+	"uniform": func(seed, lo, hi uint64, pages int) Generator {
+		return NewUniform(seed, lo, hi)
+	},
+	"linear": func(seed, lo, hi uint64, pages int) Generator {
+		return NewLinear(seed, lo, hi, pages)
+	},
+	"sine": func(seed, lo, hi uint64, pages int) Generator {
+		return NewSine(seed, lo, hi, DefaultSinePeriod)
+	},
+	"sparse": func(seed, lo, hi uint64, pages int) Generator {
+		return NewSparse(seed, lo, hi, DefaultSparseZeroFrac)
+	},
+	"zipf": func(seed, lo, hi uint64, pages int) Generator {
+		return NewZipf(seed, lo, hi, DefaultZipfSkew)
+	},
+	"hotspot": func(seed, lo, hi uint64, pages int) Generator {
+		return NewHotspot(seed, lo, hi, DefaultHotspotFrac, DefaultHotspotProb)
+	},
+	"clustered": func(seed, lo, hi uint64, pages int) Generator {
+		return NewClustered(seed, lo, hi, DefaultClusterFrac)
+	},
+	"shifted": func(seed, lo, hi uint64, pages int) Generator {
+		return NewShifted(seed, lo, hi, DefaultShiftPeriod)
+	},
+}
+
+// Names returns the sorted list of distributions ByName resolves.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName resolves a distribution by name over the value domain [lo, hi]
+// for a column of `pages` pages, with scenario knobs at their defaults.
+// Unknown names are an error; see Names for the registered set.
+func ByName(name string, seed, lo, hi uint64, pages int) (Generator, error) {
+	mk, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("dist: unknown distribution %q (known: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	if pages <= 0 {
+		pages = 1
+	}
+	return mk(seed, lo, hi, pages), nil
+}
+
+// ---------------------------------------------------------------------------
+// Shared deterministic plumbing.
+
+// normBounds orders a (lo, hi) pair, swapping instead of rejecting so no
+// constructor can be driven into a panic.
+func normBounds(lo, hi uint64) (uint64, uint64) {
+	if lo > hi {
+		return hi, lo
+	}
+	return lo, hi
+}
+
+// normPage clamps a page index to be non-negative; generators are defined
+// on pages [0, ∞) and treat hostile negative indices as page 0.
+func normPage(page int) int {
+	if page < 0 {
+		return 0
+	}
+	return page
+}
+
+// pageRand derives the independent per-page RNG stream that makes
+// FillPage order-free: the stream depends only on (seed, page).
+func pageRand(seed uint64, page int) *xrand.Rand {
+	s := seed
+	h := xrand.Splitmix64(&s)
+	h ^= (uint64(normPage(page)) + 1) * 0x9e3779b97f4a7c15
+	return xrand.New(h)
+}
+
+// seedRand derives the per-generator RNG used for construction-time
+// choices (hot-region placement, phase offsets), domain-separated from
+// the page streams.
+func seedRand(seed uint64) *xrand.Rand {
+	s := seed ^ 0xd6e8feb86659fd93
+	return xrand.New(xrand.Splitmix64(&s))
+}
+
+// mulDiv returns floor(width * num / den) without overflow for
+// num <= den, den > 0 — the exact page-boundary arithmetic the ramp
+// generators need over the full uint64 domain.
+func mulDiv(width, num, den uint64) uint64 {
+	hi, lo := bits.Mul64(width, num)
+	q, _ := bits.Div64(hi, lo, den)
+	return q
+}
+
+// sliceBounds returns the inclusive value range of the i-th of n equal
+// consecutive slices of [lo, hi] (i < n). Empty slices collapse to a
+// single point so the bounds always stay ordered and in-domain.
+func sliceBounds(lo, hi, i, n uint64) (sliceLo, sliceHi uint64) {
+	width := hi - lo
+	sliceLo = lo + mulDiv(width, i, n)
+	sliceHi = hi
+	if i+1 < n {
+		next := lo + mulDiv(width, i+1, n)
+		if next > sliceLo {
+			sliceHi = next - 1
+		} else {
+			sliceHi = sliceLo
+		}
+	}
+	return sliceLo, sliceHi
+}
+
+// scaleFrac returns round-down frac*width clamped to [0, width], safe for
+// width up to MaxUint64 and arbitrary (even NaN) frac.
+func scaleFrac(frac float64, width uint64) uint64 {
+	if !(frac > 0) { // also catches NaN
+		return 0
+	}
+	if frac >= 1 {
+		return width
+	}
+	v := frac * float64(width)
+	if v >= float64(^uint64(0)) {
+		return width
+	}
+	return uint64(v)
+}
+
+// windowAround intersects [center-amp, center+amp] with [lo, hi] with
+// saturating arithmetic and returns a non-empty window.
+func windowAround(center, amp, lo, hi uint64) (wlo, whi uint64) {
+	wlo, whi = lo, hi
+	if center >= lo && center <= hi {
+		if center-lo > amp {
+			wlo = center - amp
+		}
+		if hi-center > amp {
+			whi = center + amp
+		}
+	}
+	return wlo, whi
+}

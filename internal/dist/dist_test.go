@@ -1,0 +1,362 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+const testDomain = 100_000_000
+
+// fillMany fills pages [0, pages) with one FillPage call each and returns
+// the concatenated values.
+func fillMany(g Generator, pages, perPage int) []uint64 {
+	out := make([]uint64, 0, pages*perPage)
+	buf := make([]uint64, perPage)
+	for p := 0; p < pages; p++ {
+		g.FillPage(p, buf)
+		out = append(out, buf...)
+	}
+	return out
+}
+
+func TestByNameResolvesAllRegistered(t *testing.T) {
+	names := Names()
+	if len(names) < 7 {
+		t.Fatalf("registry has %d names, want >= 7: %v", len(names), names)
+	}
+	for _, name := range names {
+		g, err := ByName(name, 1, 0, testDomain, 256)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if g == nil {
+			t.Fatalf("ByName(%q) returned nil generator", name)
+		}
+	}
+}
+
+func TestByNameTable(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		dist    string
+		pages   int
+		wantErr bool
+	}{
+		{"uniform ok", "uniform", 16, false},
+		{"linear ok", "linear", 16, false},
+		{"sine ok", "sine", 16, false},
+		{"sparse ok", "sparse", 16, false},
+		{"zipf ok", "zipf", 16, false},
+		{"hotspot ok", "hotspot", 16, false},
+		{"clustered ok", "clustered", 16, false},
+		{"shifted ok", "shifted", 16, false},
+		{"zero pages tolerated", "linear", 0, false},
+		{"negative pages tolerated", "linear", -5, false},
+		{"unknown name", "pareto", 16, true},
+		{"empty name", "", 16, true},
+		{"case sensitive", "Uniform", 16, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := ByName(tc.dist, 7, 0, testDomain, tc.pages)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("ByName(%q) accepted", tc.dist)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]uint64, 64)
+			g.FillPage(0, buf) // must not panic
+		})
+	}
+}
+
+// TestDeterminism: same seed => byte-identical pages, independent of the
+// order pages are generated in — the property FillParallel relies on.
+func TestDeterminism(t *testing.T) {
+	const pages, perPage = 32, 509
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			g1, err := ByName(name, 42, 0, testDomain, pages)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g2, err := ByName(name, 42, 0, testDomain, pages)
+			if err != nil {
+				t.Fatal(err)
+			}
+			forward := fillMany(g1, pages, perPage)
+			// Generate in reverse page order on the second instance.
+			reverse := make([]uint64, pages*perPage)
+			buf := make([]uint64, perPage)
+			for p := pages - 1; p >= 0; p-- {
+				g2.FillPage(p, buf)
+				copy(reverse[p*perPage:], buf)
+			}
+			for i := range forward {
+				if forward[i] != reverse[i] {
+					t.Fatalf("value %d differs across fill orders: %d vs %d",
+						i, forward[i], reverse[i])
+				}
+			}
+			// Refilling a page after others must reproduce it exactly.
+			g1.FillPage(5, buf)
+			for i, v := range buf {
+				if v != forward[5*perPage+i] {
+					t.Fatalf("page 5 not reproducible at slot %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestSeedsProduceDifferentData(t *testing.T) {
+	const pages, perPage = 8, 509
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			g1, _ := ByName(name, 1, 0, testDomain, pages)
+			g2, _ := ByName(name, 2, 0, testDomain, pages)
+			a := fillMany(g1, pages, perPage)
+			b := fillMany(g2, pages, perPage)
+			for i := range a {
+				if a[i] != b[i] {
+					return
+				}
+			}
+			t.Fatal("seeds 1 and 2 produced identical data")
+		})
+	}
+}
+
+// TestBounds: every value of every generator lies in [lo, hi], across
+// ordinary, degenerate, reversed, and full-uint64 domains.
+func TestBounds(t *testing.T) {
+	bounds := []struct {
+		label  string
+		lo, hi uint64
+	}{
+		{"ordinary", 0, testDomain},
+		{"offset", 1_000, 2_000},
+		{"single point", 77, 77},
+		{"reversed (swapped)", 5_000, 10},
+		{"full domain", 0, math.MaxUint64},
+		{"top of domain", math.MaxUint64 - 1000, math.MaxUint64},
+	}
+	for _, name := range Names() {
+		for _, b := range bounds {
+			t.Run(name+"/"+b.label, func(t *testing.T) {
+				lo, hi := b.lo, b.hi
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				g, err := ByName(name, 9, b.lo, b.hi, 64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, v := range fillMany(g, 64, 509) {
+					if v < lo || v > hi {
+						t.Fatalf("value %d outside [%d, %d]", v, lo, hi)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestLinearPageMeansIncrease: linear is perfectly clustered — page means
+// increase strictly with the page index (the Figure 2a ramp).
+func TestLinearPageMeansIncrease(t *testing.T) {
+	const pages = 100
+	g := NewLinear(3, 0, testDomain, pages)
+	buf := make([]uint64, 509)
+	prev := -1.0
+	for p := 0; p < pages; p++ {
+		g.FillPage(p, buf)
+		sum := 0.0
+		for _, v := range buf {
+			sum += float64(v)
+		}
+		mean := sum / float64(len(buf))
+		if mean <= prev {
+			t.Fatalf("page %d mean %.0f <= previous %.0f", p, mean, prev)
+		}
+		prev = mean
+	}
+}
+
+// TestLinearSaturatesBeyondNumPages: pages past numPages stay in-domain
+// at the top slice instead of running off the ramp.
+func TestLinearSaturatesBeyondNumPages(t *testing.T) {
+	g := NewLinear(3, 0, 1000, 10)
+	buf := make([]uint64, 509)
+	g.FillPage(500, buf)
+	for _, v := range buf {
+		if v < 900 || v > 1000 {
+			t.Fatalf("saturated page value %d outside top slice", v)
+		}
+	}
+}
+
+// TestSinePeriodicity: pages one full period apart cluster around the
+// same wave position.
+func TestSinePeriodicity(t *testing.T) {
+	const period = 100
+	g := NewSine(11, 0, testDomain, period)
+	buf := make([]uint64, 509)
+	mean := func(p int) float64 {
+		g.FillPage(p, buf)
+		sum := 0.0
+		for _, v := range buf {
+			sum += float64(v)
+		}
+		return sum / float64(len(buf))
+	}
+	for _, p := range []int{3, 42, 77} {
+		m0, m1 := mean(p), mean(p+period)
+		// Window half-width is domain/64; the centers are identical, so the
+		// means may differ only by jitter inside the window.
+		if math.Abs(m0-m1) > testDomain/32 {
+			t.Fatalf("pages %d and %d one period apart have means %.0f vs %.0f", p, p+period, m0, m1)
+		}
+	}
+}
+
+// TestSparseZeroPages: the configured fraction of pages holds only the
+// domain floor, the rest spreads over the domain.
+func TestSparseZeroPages(t *testing.T) {
+	const pages = 2000
+	g := NewSparse(5, 0, testDomain, 0.9)
+	buf := make([]uint64, 509)
+	floorPages := 0
+	for p := 0; p < pages; p++ {
+		g.FillPage(p, buf)
+		allFloor := true
+		for _, v := range buf {
+			if v != 0 {
+				allFloor = false
+				break
+			}
+		}
+		if allFloor {
+			floorPages++
+		}
+	}
+	frac := float64(floorPages) / pages
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("zero-page fraction %.3f, want ~0.9", frac)
+	}
+}
+
+// TestZipfSkew: low ranks dominate — at skew 1.1 well over half the mass
+// falls in the lowest decile of the domain.
+func TestZipfSkew(t *testing.T) {
+	g := NewZipf(13, 0, testDomain, DefaultZipfSkew)
+	vals := fillMany(g, 64, 509)
+	lowDecile := 0
+	for _, v := range vals {
+		if v < testDomain/10 {
+			lowDecile++
+		}
+	}
+	if frac := float64(lowDecile) / float64(len(vals)); frac < 0.5 {
+		t.Fatalf("lowest decile holds %.3f of the mass, want > 0.5", frac)
+	}
+}
+
+// TestHotspotConcentration: ~hotProb of the values land inside a region
+// of ~hotFrac of the domain.
+func TestHotspotConcentration(t *testing.T) {
+	g := NewHotspot(17, 0, testDomain, 0.1, 0.9)
+	vals := fillMany(g, 64, 509)
+	// Find the densest window of width domain/10 via a 100-bin histogram.
+	const bins = 100
+	var hist [bins]int
+	for _, v := range vals {
+		b := int(v / (testDomain / bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		hist[b]++
+	}
+	best := 0
+	for start := 0; start+10 <= bins; start++ {
+		in := 0
+		for i := start; i < start+10; i++ {
+			in += hist[i]
+		}
+		if in > best {
+			best = in
+		}
+	}
+	if frac := float64(best) / float64(len(vals)); frac < 0.8 {
+		t.Fatalf("densest 10%% window holds %.3f of the mass, want > 0.8", frac)
+	}
+}
+
+// TestClusteredPageSpread: each page's values span at most the cluster
+// window, far below the whole domain.
+func TestClusteredPageSpread(t *testing.T) {
+	g := NewClustered(19, 0, testDomain, DefaultClusterFrac)
+	buf := make([]uint64, 509)
+	maxSpread := uint64(DefaultClusterFrac * testDomain)
+	for p := 0; p < 128; p++ {
+		g.FillPage(p, buf)
+		min, max := buf[0], buf[0]
+		for _, v := range buf {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if max-min > maxSpread {
+			t.Fatalf("page %d spread %d exceeds cluster window %d", p, max-min, maxSpread)
+		}
+	}
+}
+
+// TestShiftedSlides: within one period the window position advances, and
+// pages a full period apart coincide.
+func TestShiftedSlides(t *testing.T) {
+	const period = 100
+	g := NewShifted(23, 0, testDomain, period)
+	buf := make([]uint64, 509)
+	mean := func(p int) float64 {
+		g.FillPage(p, buf)
+		sum := 0.0
+		for _, v := range buf {
+			sum += float64(v)
+		}
+		return sum / float64(len(buf))
+	}
+	m0, mHalf := mean(0), mean(period/2)
+	if math.Abs(m0-mHalf) < testDomain/16 {
+		t.Fatalf("window did not slide: mean(0)=%.0f mean(%d)=%.0f", m0, period/2, mHalf)
+	}
+	if d := math.Abs(mean(7) - mean(7+period)); d > testDomain/32 {
+		t.Fatalf("pages one period apart differ by %.0f", d)
+	}
+}
+
+// TestFillPageHostileInputs: negative pages, empty and odd-length output
+// slices must not panic and must stay in bounds.
+func TestFillPageHostileInputs(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			g, err := ByName(name, 3, 10, 99, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.FillPage(0, nil)
+			g.FillPage(-1, make([]uint64, 3))
+			buf := make([]uint64, 1)
+			g.FillPage(1<<30, buf)
+			if buf[0] < 10 || buf[0] > 99 {
+				t.Fatalf("huge page index escaped bounds: %d", buf[0])
+			}
+		})
+	}
+}

@@ -1,0 +1,47 @@
+package dist
+
+import "testing"
+
+// FuzzByName drives the whole registry through arbitrary (name, seed, lo,
+// hi, pages, page) tuples and asserts the package contract: resolution
+// either errors cleanly or yields a generator that never panics and never
+// emits a value outside the normalized [lo, hi].
+func FuzzByName(f *testing.F) {
+	for _, name := range Names() {
+		f.Add(name, uint64(1), uint64(0), uint64(100_000_000), 64, 0)
+		f.Add(name, uint64(42), uint64(500), uint64(100), -3, -1)
+		f.Add(name, uint64(0), uint64(7), uint64(7), 1, 1<<20)
+		f.Add(name, uint64(99), uint64(0), ^uint64(0), 4096, 4095)
+	}
+	f.Add("no-such-dist", uint64(1), uint64(0), uint64(10), 8, 0)
+
+	f.Fuzz(func(t *testing.T, name string, seed, lo, hi uint64, pages, page int) {
+		g, err := ByName(name, seed, lo, hi, pages)
+		if err != nil {
+			if g != nil {
+				t.Fatal("error with non-nil generator")
+			}
+			return
+		}
+		out := make([]uint64, 509)
+		g.FillPage(page, out)
+		wantLo, wantHi := lo, hi
+		if wantLo > wantHi {
+			wantLo, wantHi = wantHi, wantLo
+		}
+		for i, v := range out {
+			if v < wantLo || v > wantHi {
+				t.Fatalf("%s(seed=%d, lo=%d, hi=%d, pages=%d).FillPage(%d)[%d] = %d outside [%d, %d]",
+					name, seed, lo, hi, pages, page, i, v, wantLo, wantHi)
+			}
+		}
+		// Determinism: the identical call must reproduce the page.
+		again := make([]uint64, 509)
+		g.FillPage(page, again)
+		for i := range out {
+			if out[i] != again[i] {
+				t.Fatalf("FillPage(%d) not deterministic at slot %d", page, i)
+			}
+		}
+	})
+}

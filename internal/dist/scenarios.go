@@ -1,0 +1,197 @@
+// Scenario generators beyond the paper's four distributions. They open
+// the workload space the ROADMAP asks for — skewed key popularity
+// (zipf), a hot value region (hotspot), per-page value locality
+// (clustered), and a sliding value window (shifted) — while honouring the
+// same determinism and bounds contract as the paper generators, so every
+// harness and the adaptive layer can consume them unchanged.
+package dist
+
+import (
+	"math"
+	"sort"
+)
+
+// zipfBuckets discretizes the zipf rank distribution; 1024 ranks keep the
+// inverse-CDF table small while giving sub-0.1% domain resolution.
+const zipfBuckets = 1024
+
+// ---------------------------------------------------------------------------
+// Zipf — skewed value popularity.
+
+type zipf struct {
+	seed   uint64
+	lo, hi uint64
+	cdf    []float64   // cumulative rank probabilities, len zipfBuckets
+	bounds [][2]uint64 // inclusive value slice per rank, len zipfBuckets
+}
+
+// NewZipf returns a generator with zipf-skewed value popularity: the
+// domain [lo, hi] is split into zipfBuckets equal rank slices and rank k
+// is drawn with probability proportional to 1/(k+1)^skew, low values
+// being the most popular. skew is clamped to [0.05, 20]; values within
+// the chosen rank slice are uniform.
+func NewZipf(seed, lo, hi uint64, skew float64) Generator {
+	lo, hi = normBounds(lo, hi)
+	if math.IsNaN(skew) || skew < 0.05 {
+		skew = 0.05
+	}
+	if skew > 20 {
+		skew = 20
+	}
+	cdf := make([]float64, zipfBuckets)
+	sum := 0.0
+	for k := 0; k < zipfBuckets; k++ {
+		sum += math.Pow(float64(k+1), -skew)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	bounds := make([][2]uint64, zipfBuckets)
+	for b := range bounds {
+		bounds[b][0], bounds[b][1] = sliceBounds(lo, hi, uint64(b), zipfBuckets)
+	}
+	return &zipf{seed: seed, lo: lo, hi: hi, cdf: cdf, bounds: bounds}
+}
+
+func (g *zipf) FillPage(page int, out []uint64) {
+	r := pageRand(g.seed, page)
+	for i := range out {
+		u := r.Float64()
+		b := sort.SearchFloat64s(g.cdf, u)
+		if b >= zipfBuckets {
+			b = zipfBuckets - 1
+		}
+		out[i] = r.Uint64Range(g.bounds[b][0], g.bounds[b][1])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Hotspot — a hot value region absorbing most of the data.
+
+type hotspot struct {
+	seed         uint64
+	lo, hi       uint64
+	hotLo, hotHi uint64
+	hotProb      float64
+}
+
+// NewHotspot returns a generator where a contiguous region covering
+// hotFrac of the domain (placed pseudo-randomly from the seed) receives
+// hotProb of all values; the rest is uniform background over [lo, hi].
+// Both fractions are clamped to [0, 1].
+func NewHotspot(seed, lo, hi uint64, hotFrac, hotProb float64) Generator {
+	lo, hi = normBounds(lo, hi)
+	if !(hotFrac > 0) {
+		hotFrac = 0
+	}
+	if hotFrac > 1 {
+		hotFrac = 1
+	}
+	if !(hotProb > 0) {
+		hotProb = 0
+	}
+	if hotProb > 1 {
+		hotProb = 1
+	}
+	width := hi - lo
+	span := scaleFrac(hotFrac, width)
+	start := seedRand(seed).Uint64Range(0, width-span)
+	return &hotspot{
+		seed: seed, lo: lo, hi: hi,
+		hotLo: lo + start, hotHi: lo + start + span,
+		hotProb: hotProb,
+	}
+}
+
+func (g *hotspot) FillPage(page int, out []uint64) {
+	r := pageRand(g.seed, page)
+	for i := range out {
+		if r.Float64() < g.hotProb {
+			out[i] = r.Uint64Range(g.hotLo, g.hotHi)
+		} else {
+			out[i] = r.Uint64Range(g.lo, g.hi)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Clustered — per-page value locality at random positions.
+
+type clustered struct {
+	seed   uint64
+	lo, hi uint64
+	amp    uint64
+}
+
+// NewClustered returns a generator where each page's values cluster in a
+// window of clusterFrac × the domain around a per-page pseudo-random
+// center — locality like sine's, but with no global order across pages,
+// which stresses view creation with scattered qualifying pages.
+// clusterFrac is clamped to [0, 1].
+func NewClustered(seed, lo, hi uint64, clusterFrac float64) Generator {
+	lo, hi = normBounds(lo, hi)
+	return &clustered{seed: seed, lo: lo, hi: hi, amp: scaleFrac(clusterFrac, hi-lo) / 2}
+}
+
+func (g *clustered) FillPage(page int, out []uint64) {
+	r := pageRand(g.seed, page)
+	center := r.Uint64Range(g.lo, g.hi)
+	wlo, whi := windowAround(center, g.amp, g.lo, g.hi)
+	for i := range out {
+		out[i] = r.Uint64Range(wlo, whi)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Shifted — a sliding value window that wraps around the domain.
+
+type shifted struct {
+	seed   uint64
+	lo, hi uint64
+	period int
+	phase  uint64
+	amp    uint64
+}
+
+// NewShifted returns a generator whose value window slides linearly
+// across the domain as the page index grows, wrapping around after
+// periodPages pages — a sawtooth counterpart to sine's smooth cycle, with
+// a seed-derived phase so different seeds shift the wrap point. Window
+// half-width is 1/64 of the domain.
+func NewShifted(seed, lo, hi uint64, periodPages int) Generator {
+	lo, hi = normBounds(lo, hi)
+	if periodPages <= 0 {
+		periodPages = 1
+	}
+	width := hi - lo
+	return &shifted{
+		seed: seed, lo: lo, hi: hi, period: periodPages,
+		phase: seedRand(seed^0xa24baed4963ee407).Uint64Range(0, width),
+		amp:   width / 64,
+	}
+}
+
+func (g *shifted) FillPage(page int, out []uint64) {
+	page = normPage(page)
+	r := pageRand(g.seed, page)
+	width := g.hi - g.lo
+	off := mulDiv(width, uint64(page%g.period), uint64(g.period))
+	var pos uint64
+	if width == ^uint64(0) {
+		// The offset domain is the full uint64 range: natural wraparound
+		// is exactly addition mod 2^64.
+		pos = g.phase + off
+	} else {
+		span := width + 1
+		if off >= span-g.phase {
+			pos = off - (span - g.phase)
+		} else {
+			pos = g.phase + off
+		}
+	}
+	wlo, whi := windowAround(g.lo+pos, g.amp, g.lo, g.hi)
+	for i := range out {
+		out[i] = r.Uint64Range(wlo, whi)
+	}
+}

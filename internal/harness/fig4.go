@@ -23,9 +23,11 @@ type SequenceResult struct {
 	BaselineTotal time.Duration
 }
 
-// newFig4Column builds the §3.2 single-column table over one of the three
-// clustered distributions (sine cycles every 100 pages, sparse is 90%
-// zero pages — the Figure 2 parameters).
+// newFig4Column builds the §3.2 single-column table over any registered
+// distribution (dist.Names). The paper's panels use sine (cycles every
+// 100 pages), linear and sparse (90% zero pages — the Figure 2
+// parameters); the scenario generators drive the asvbench fig4d-f
+// panels beyond the paper.
 func newFig4Column(sc Scale, distName string) (*storage.Column, error) {
 	kern := vmsim.NewKernel(0)
 	as := kern.NewAddressSpace()
@@ -38,14 +40,17 @@ func newFig4Column(sc Scale, distName string) (*storage.Column, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := col.Fill(g); err != nil {
+	// Page-sharded fill: byte-identical to a serial Fill (generators are
+	// pure in (seed, page)) but paper-scale columns build at memory speed.
+	if err := col.FillParallel(g, 0); err != nil {
 		return nil, err
 	}
 	return col, nil
 }
 
 // RunFig4 reproduces one panel of Figure 4 (adaptive query processing in
-// single-view mode, distName ∈ {sine, linear, sparse}): a shuffled
+// single-view mode; distName is any dist.Names entry — the paper's
+// panels are sine, linear and sparse): a shuffled
 // sequence of queries whose selected range shrinks from half the domain
 // down to 5,000, answered by an adaptive engine allowed up to 100 views,
 // against a full-scan baseline. Per query it reports the adaptive

@@ -132,6 +132,28 @@ func TestRunFig4(t *testing.T) {
 	}
 }
 
+// TestRunFig4ScenarioDistributions: the fig4 harness accepts every
+// registered distribution, including the scenario generators beyond the
+// paper (asvbench fig4d-f), and the adaptive results stay consistent with
+// the baseline (runSequence cross-checks count and sum per query).
+func TestRunFig4ScenarioDistributions(t *testing.T) {
+	for _, d := range []string{"hotspot", "clustered", "shifted", "zipf"} {
+		res, err := RunFig4(tinyScale(), d)
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		if len(res.Table.Rows) != 60 {
+			t.Fatalf("%s: rows = %d", d, len(res.Table.Rows))
+		}
+		if res.AdaptiveTotal <= 0 || res.BaselineTotal <= 0 {
+			t.Fatalf("%s: totals %v/%v", d, res.AdaptiveTotal, res.BaselineTotal)
+		}
+	}
+	if _, err := RunFig4(tinyScale(), "no-such-dist"); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+}
+
 func TestRunFig5(t *testing.T) {
 	// Stitching needs enough queries for overlapping coverage to build up;
 	// at 1024 pages that takes a couple hundred queries.
