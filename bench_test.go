@@ -13,6 +13,7 @@ package asv_test
 import (
 	"fmt"
 	"math"
+	"sync"
 	"testing"
 	"time"
 
@@ -394,6 +395,87 @@ func BenchmarkFig7b_UpdateSine(b *testing.B) {
 		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) { benchFig7(b, "sine", batch, false) })
 	}
 	b.Run("rebuild", func(b *testing.B) { benchFig7(b, "sine", 1000, true) })
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (beyond the paper): intra-query parallel scan kernels and
+// multi-client throughput. On a single-core runner the parallel variants
+// fall back to (and must not regress against) the serial path; on
+// multi-core CI the serial-vs-parallel delta is the speedup the
+// Parallelism knob buys.
+
+// BenchmarkQueryParallel measures one full-column range scan through the
+// engine, serial vs page-sharded workers. The query range is chosen so no
+// partial view can cover it (every iteration pays a full scan), isolating
+// the kernel cost.
+func BenchmarkQueryParallel(b *testing.B) {
+	for _, v := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 0},
+		{"workers2", 2},
+		{"gomaxprocs", -1},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			col := benchColumn(b, benchPages, dist.NewUniform(42, 0, benchDomain))
+			// Thread the worker count through Config.Parallelism: its zero
+			// value is the true serial loop (QueryParallel would remap
+			// workers<=0 to GOMAXPROCS and erase the baseline).
+			cfg := core.BaselineConfig()
+			cfg.Parallelism = v.workers
+			eng, err := core.NewEngine(col, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			b.SetBytes(int64(benchPages) * storage.PageSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Query(0, benchDomain/2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.PagesScanned != benchPages {
+					b.Fatalf("scanned %d pages", res.PagesScanned)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConcurrentClients measures adaptive-engine throughput under N
+// concurrent clients firing deterministic per-client streams at one
+// shared column — the harness `concurrent` panel at bench scale. One
+// iteration = every client completes one query.
+func BenchmarkConcurrentClients(b *testing.B) {
+	for _, clients := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("clients%d", clients), func(b *testing.B) {
+			col := benchColumn(b, benchPages, dist.NewSine(42, 0, benchDomain, 100))
+			eng, err := core.NewEngine(col, core.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			streams := workload.ConcurrentClients(42, clients, 64, benchDomain, 0.01)
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func(stream []workload.Query, i int) {
+						defer wg.Done()
+						q := stream[i%len(stream)]
+						if _, err := eng.Query(q.Lo, q.Hi); err != nil {
+							b.Error(err)
+						}
+					}(streams[c], i)
+				}
+				wg.Wait()
+			}
+			b.ReportMetric(float64(clients), "queries/op")
+		})
+	}
 }
 
 // ---------------------------------------------------------------------------

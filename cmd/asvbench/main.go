@@ -7,15 +7,19 @@
 //	asvbench -experiment fig3                 # one experiment, text output
 //	asvbench -experiment all -format tsv      # everything, plot-ready TSV
 //	asvbench -experiment table1 -pages 262144 # larger scale
+//	asvbench -experiment concurrent -json     # machine-readable panel
 //
 // Experiments: fig2, fig3, fig4a-f (d-f run the hotspot, clustered and
 // shifted scenario distributions beyond the paper), fig5a, fig5b, fig6a,
-// fig6b, fig7a, fig7b, table1, all. The default scale is 1/16 of the
-// paper's (65,536 pages ≈ 256 MiB per column); -pages 1048576 reproduces
-// the paper's full size if you have the memory and patience.
+// fig6b, fig7a, fig7b, table1, concurrent (multi-client throughput,
+// beyond the paper), all. The default scale is 1/16 of the paper's
+// (65,536 pages ≈ 256 MiB per column); -pages 1048576 reproduces the
+// paper's full size if you have the memory and patience. -json emits one
+// JSON object per panel — the diffable shape CI archives as an artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -95,6 +99,9 @@ var experiments = []experiment{
 	{"table1", "accumulated response times (runs fig4a-c, fig5a-b)", func(s harness.Scale) ([]*harness.Table, error) {
 		return one(harness.RunTable1(s))
 	}},
+	{"concurrent", "multi-client throughput vs routing mode (beyond the paper)", func(s harness.Scale) ([]*harness.Table, error) {
+		return one(harness.RunConcurrent(s))
+	}},
 }
 
 func main() {
@@ -105,11 +112,15 @@ func main() {
 		queries = flag.Int("queries", 0, "query sequence length (default 250)")
 		runs    = flag.Int("runs", 0, "repetitions to average (default 3)")
 		seed    = flag.Uint64("seed", 0, "workload seed (default 42)")
-		format  = flag.String("format", "text", "output format: text or tsv")
-		outDir  = flag.String("out", "", "write one <experiment>.tsv per table into this directory")
+		format  = flag.String("format", "text", "output format: text, tsv or json")
+		jsonOut = flag.Bool("json", false, "emit machine-readable JSON (one object per panel); shorthand for -format json")
+		outDir  = flag.String("out", "", "write one <experiment>.tsv (or .json with -json) per table into this directory")
 		quiet   = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
+	if *jsonOut {
+		*format = "json"
+	}
 
 	if *list {
 		for _, e := range experiments {
@@ -122,8 +133,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "asvbench: -experiment is required (try -list)")
 		os.Exit(2)
 	}
-	if *format != "text" && *format != "tsv" {
-		fmt.Fprintln(os.Stderr, "asvbench: -format must be text or tsv")
+	if *format != "text" && *format != "tsv" && *format != "json" {
+		fmt.Fprintln(os.Stderr, "asvbench: -format must be text, tsv or json")
 		os.Exit(2)
 	}
 
@@ -201,14 +212,24 @@ func emit(t *harness.Table, format, outDir string) error {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
 			return err
 		}
-		f, err := os.Create(filepath.Join(outDir, t.ID+".tsv"))
+		ext := ".tsv"
+		if format == "json" {
+			ext = ".json"
+		}
+		f, err := os.Create(filepath.Join(outDir, t.ID+ext))
 		if err != nil {
 			return err
 		}
 		defer f.Close()
+		if format == "json" {
+			return writeJSON(f, t)
+		}
 		return t.WriteTSV(f)
 	}
-	if format == "tsv" {
+	switch format {
+	case "json":
+		return writeJSON(w, t)
+	case "tsv":
 		return t.WriteTSV(w)
 	}
 	if err := t.WriteText(w); err != nil {
@@ -216,4 +237,17 @@ func emit(t *harness.Table, format, outDir string) error {
 	}
 	_, err := fmt.Fprintln(w)
 	return err
+}
+
+// writeJSON emits one self-describing JSON object per panel — the shape CI
+// archives as a bench artifact, so trajectory tooling can diff runs
+// without parsing aligned text.
+func writeJSON(w io.Writer, t *harness.Table) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{t.ID, t.Title, t.Header, t.Rows})
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -75,5 +76,44 @@ func TestTableHelpers(t *testing.T) {
 	var buf bytes.Buffer
 	if err := (&harness.Table{ID: "y", Header: []string{"h"}}).WriteTSV(&buf); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestEmitJSON(t *testing.T) {
+	tbl := &harness.Table{ID: "demo", Title: "a demo", Header: []string{"x", "y"}}
+	tbl.AddRow("1", "2.5")
+	tbl.AddRow("3", "4.5")
+
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, tbl); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	if got.ID != "demo" || got.Title != "a demo" || len(got.Header) != 2 || len(got.Rows) != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if got.Rows[1][1] != "4.5" {
+		t.Fatalf("cell: %+v", got.Rows)
+	}
+
+	// -out directory mode writes .json files.
+	dir := t.TempDir()
+	if err := emit(tbl, "json", dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "demo.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Fatalf("directory emit not valid JSON: %q", data)
 	}
 }

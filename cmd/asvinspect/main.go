@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	asvinspect [-pages 2048] [-queries 40] [-dist sine] [-mode single|multi]
+//	asvinspect [-pages 2048] [-queries 40] [-dist sine] [-mode single|multi] [-scanworkers -1]
 package main
 
 import (
@@ -31,16 +31,17 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "workload seed")
 		showMaps = flag.Bool("maps", true, "print the rendered maps file")
 		parallel = flag.Bool("parallel", true, "fill the column with page-sharded workers")
+		scanWork = flag.Int("scanworkers", 0, "page-sharded scan workers per query (0 = serial, <0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	if err := run(*pages, *queries, *distName, *mode, *seed, *showMaps, *parallel); err != nil {
+	if err := run(*pages, *queries, *distName, *mode, *seed, *showMaps, *parallel, *scanWork); err != nil {
 		fmt.Fprintln(os.Stderr, "asvinspect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(pages, queries int, distName, mode string, seed uint64, showMaps, parallel bool) error {
+func run(pages, queries int, distName, mode string, seed uint64, showMaps, parallel bool, scanWorkers int) error {
 	const domain = 100_000_000
 
 	kern := vmsim.NewKernel(0)
@@ -66,6 +67,7 @@ func run(pages, queries int, distName, mode string, seed uint64, showMaps, paral
 	fillDur := time.Since(t0)
 
 	cfg := core.DefaultConfig()
+	cfg.Parallelism = scanWorkers
 	if mode == "multi" {
 		cfg.Mode = core.MultiView
 	} else if mode != "single" {
@@ -81,8 +83,14 @@ func run(pages, queries int, distName, mode string, seed uint64, showMaps, paral
 	if parallel {
 		fill = "parallel"
 	}
-	fmt.Printf("column: %d pages (%d rows), %s distribution over [0, %d], %s fill in %s\n",
-		col.NumPages(), col.Rows(), distName, domain, fill, fillDur.Round(time.Microsecond))
+	scan := "serial scans"
+	if scanWorkers < 0 {
+		scan = "GOMAXPROCS-sharded scans"
+	} else if scanWorkers > 1 {
+		scan = fmt.Sprintf("%d-way sharded scans", scanWorkers)
+	}
+	fmt.Printf("column: %d pages (%d rows), %s distribution over [0, %d], %s fill in %s, %s\n",
+		col.NumPages(), col.Rows(), distName, domain, fill, fillDur.Round(time.Microsecond), scan)
 
 	qs := workload.SelectivitySweep(seed, queries, domain, domain/2, domain/1000)
 	for i, q := range qs {

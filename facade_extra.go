@@ -8,6 +8,7 @@ import (
 	"github.com/asv-db/asv/internal/core"
 	"github.com/asv-db/asv/internal/storage"
 	"github.com/asv-db/asv/internal/table"
+	"github.com/asv-db/asv/internal/workload"
 )
 
 // MultiViewPolicy selects how multi-view covers compete with single views
@@ -99,6 +100,18 @@ func (db *DB) ReadColumn(name string, r io.Reader, cfg Config) (*Column, error) 
 	c := &Column{db: db, col: sc, eng: eng, name: name}
 	db.columns[name] = c
 	return c, nil
+}
+
+// RangeQuery is one inclusive range predicate of a generated workload.
+type RangeQuery = workload.Query
+
+// ConcurrentStreams derives one deterministic query stream per client
+// from a single seed (n queries each, fixed selectivity sel over
+// [0, domainHi]). Client i's stream never depends on scheduling, so a
+// concurrent run fires exactly the same queries as its serial re-check —
+// the workload behind the `concurrent` asvbench panel.
+func ConcurrentStreams(seed uint64, clients, n int, domainHi uint64, sel float64) [][]RangeQuery {
+	return workload.ConcurrentClients(seed, clients, n, domainHi, sel)
 }
 
 // Predicate is an inclusive range condition on one table column.

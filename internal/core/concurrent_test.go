@@ -1,0 +1,317 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/asv-db/asv/internal/dist"
+	"github.com/asv-db/asv/internal/storage"
+	"github.com/asv-db/asv/internal/vmsim"
+	"github.com/asv-db/asv/internal/workload"
+	"github.com/asv-db/asv/internal/xrand"
+)
+
+const ccDomain = 1_000_000
+
+// TestQueryParallelEquivalence is the engine-level equivalence table: for
+// every registered generator and both routing modes, a full adaptive query
+// sequence answered with parallel scan kernels must be result-identical —
+// counts, sums, scanned pages, and the adapted view set — to the serial
+// run on an identical column.
+func TestQueryParallelEquivalence(t *testing.T) {
+	const pages = 96
+	queries := workload.SelectivitySweep(11, 30, ccDomain, ccDomain/2, ccDomain/100)
+	for _, name := range dist.Names() {
+		for _, mode := range []Mode{SingleView, MultiView} {
+			t.Run(fmt.Sprintf("%s_%s", name, mode), func(t *testing.T) {
+				g, err := dist.ByName(name, 5, 0, ccDomain, pages)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mkEngine := func(parallelism int) *Engine {
+					cfg := syncConfig()
+					cfg.Mode = mode
+					cfg.Parallelism = parallelism
+					return newEngine(t, testColumn(t, pages, g), cfg)
+				}
+				serial := mkEngine(0)
+				parallel := mkEngine(3)
+				for i, q := range queries {
+					rs, err := serial.Query(q.Lo, q.Hi)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rp, err := parallel.Query(q.Lo, q.Hi)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if rs != rp {
+						t.Fatalf("query %d [%d,%d]: serial %+v != parallel %+v", i, q.Lo, q.Hi, rs, rp)
+					}
+				}
+				// The adaptive side effects must match too: same views over
+				// the same ranges with the same page counts.
+				vs, vp := serial.Views(), parallel.Views()
+				if len(vs) != len(vp) {
+					t.Fatalf("view sets diverged: %d vs %d", len(vs), len(vp))
+				}
+				for i := range vs {
+					if vs[i].Lo() != vp[i].Lo() || vs[i].Hi() != vp[i].Hi() || vs[i].NumPages() != vp[i].NumPages() {
+						t.Fatalf("view %d diverged: %v vs %v", i, vs[i], vp[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestConcurrentAdaptiveQueries hammers one adaptive engine from many
+// goroutines and then validates every answer against a serial baseline
+// engine over the same column: concurrent routing, scanning, and view
+// publication must never change a result.
+func TestConcurrentAdaptiveQueries(t *testing.T) {
+	const (
+		pages   = 128
+		clients = 8
+	)
+	col := testColumn(t, pages, dist.NewSine(9, 0, ccDomain, 16))
+	for _, mode := range []Mode{SingleView, MultiView} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := DefaultConfig() // background mapper on: the full §2.3 path
+			cfg.Mode = mode
+			eng := newEngine(t, col, cfg)
+			streams := workload.ConcurrentClients(21, clients, 40, ccDomain, 0.02)
+
+			type got struct {
+				q     workload.Query
+				count int
+				sum   uint64
+			}
+			results := make([][]got, clients)
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for _, q := range streams[c] {
+						res, err := eng.Query(q.Lo, q.Hi)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						results[c] = append(results[c], got{q, res.Count, res.Sum})
+					}
+				}(c)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+
+			baseline := newEngine(t, col, BaselineConfig())
+			for c := range results {
+				for _, r := range results[c] {
+					want, err := baseline.Query(r.q.Lo, r.q.Hi)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if r.count != want.Count || r.sum != want.Sum {
+						t.Fatalf("client %d [%d,%d]: concurrent (%d,%d) != serial (%d,%d)",
+							c, r.q.Lo, r.q.Hi, r.count, r.sum, want.Count, want.Sum)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentQueryVsUpdate races readers against a writer on one
+// column: goroutines fire queries while another applies update bursts and
+// flushes. Every individual answer must be internally consistent (the
+// collecting and filtering passes agree — QueryAggregate checks this
+// inline), and after the storm the engine must converge to the serial
+// truth.
+func TestConcurrentQueryVsUpdate(t *testing.T) {
+	const (
+		pages   = 96
+		readers = 4
+		bursts  = 20
+	)
+	col := testColumn(t, pages, dist.NewUniform(3, 0, ccDomain))
+	eng := newEngine(t, col, syncConfig())
+
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(100 + r))
+			for i := 0; i < 50; i++ {
+				lo := rng.Uint64n(ccDomain)
+				hi := lo + rng.Uint64n(ccDomain/10)
+				if _, _, err := eng.QueryAggregate(lo, hi); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := xrand.New(7)
+		for b := 0; b < bursts; b++ {
+			for i := 0; i < 25; i++ {
+				if err := eng.Update(rng.Intn(col.Rows()), rng.Uint64n(ccDomain)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if _, err := eng.FlushUpdates(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Convergence: with the writer quiet, adaptive answers equal a raw
+	// column scan.
+	if n := eng.PendingUpdates(); n != 0 {
+		t.Fatalf("%d updates still pending after flush", n)
+	}
+	for _, q := range [][2]uint64{{0, ccDomain}, {ccDomain / 3, ccDomain / 2}, {0, 1000}} {
+		wantCount, wantSum, err := col.FullScan(q[0], q[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Query(q[0], q[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != wantCount || res.Sum != wantSum {
+			t.Fatalf("[%d,%d]: engine (%d,%d) != column (%d,%d)",
+				q[0], q[1], res.Count, res.Sum, wantCount, wantSum)
+		}
+	}
+}
+
+// TestConcurrentColumnsSharedKernel drives adaptive engines on several
+// columns that share one simulated kernel and address space — the DB
+// topology — from concurrent goroutines: per-column locks must not be
+// needed for cross-column parallelism, and the shared VM layer must hold
+// up under concurrent mapping traffic.
+func TestConcurrentColumnsSharedKernel(t *testing.T) {
+	const (
+		columns = 4
+		pages   = 64
+	)
+	k := vmsim.NewKernel(0)
+	as := k.NewAddressSpace()
+	as.SetMaxMapCount(1 << 30)
+
+	cols := make([]*storage.Column, columns)
+	engines := make([]*Engine, columns)
+	for i := range cols {
+		c, err := storage.NewColumn(k, as, fmt.Sprintf("col%d", i), pages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Fill(dist.NewClustered(uint64(i+1), 0, ccDomain, 0.05)); err != nil {
+			t.Fatal(err)
+		}
+		cols[i] = c
+		engines[i] = newEngine(t, c, DefaultConfig())
+	}
+
+	var wg sync.WaitGroup
+	for i := range engines {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for _, q := range workload.ConcurrentClients(33, columns, 40, ccDomain, 0.05)[i] {
+				if _, err := engines[i].Query(q.Lo, q.Hi); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for i, eng := range engines {
+		wantCount, wantSum, err := cols[i].FullScan(0, ccDomain/2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Query(0, ccDomain/2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != wantCount || res.Sum != wantSum {
+			t.Fatalf("column %d: engine (%d,%d) != scan (%d,%d)",
+				i, res.Count, res.Sum, wantCount, wantSum)
+		}
+	}
+}
+
+// TestConcurrentStatsAndViewsReads polls the observability surface
+// (Stats, Views, String, PendingUpdates) while queries and updates run —
+// snapshots must be race-free and monotonic.
+func TestConcurrentStatsAndViewsReads(t *testing.T) {
+	col := testColumn(t, 64, dist.NewUniform(5, 0, ccDomain))
+	eng := newEngine(t, col, syncConfig())
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var lastQueries uint64
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			st := eng.Stats()
+			if st.Queries < lastQueries {
+				t.Errorf("queries counter went backwards: %d -> %d", lastQueries, st.Queries)
+				return
+			}
+			lastQueries = st.Queries
+			_ = eng.Views()
+			_ = eng.String()
+			_ = eng.PendingUpdates()
+		}
+	}()
+	rng := xrand.New(1)
+	for i := 0; i < 200; i++ {
+		lo := rng.Uint64n(ccDomain)
+		if _, err := eng.Query(lo, lo+ccDomain/50); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 0 {
+			if err := eng.Update(rng.Intn(col.Rows()), rng.Uint64n(ccDomain)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	st := eng.Stats()
+	if st.Queries == 0 || st.PagesScanned == 0 {
+		t.Fatalf("stats not accumulated: %+v", st)
+	}
+	eng.ResetStats()
+	if got := eng.Stats(); got.Queries != 0 {
+		t.Fatalf("reset left %+v", got)
+	}
+}

@@ -105,6 +105,15 @@ type Config struct {
 	// MapperQueueCap sizes the concurrent queue feeding the mapping
 	// thread (<= 0 selects 1024).
 	MapperQueueCap int
+	// Parallelism is the number of page-sharded workers a single query's
+	// scan uses: 0 scans serially (the paper's single-threaded model), a
+	// positive value selects that many workers, and a negative value
+	// selects GOMAXPROCS. Parallel scans reduce shard results in page
+	// order with commutative aggregates, so answers and adaptive side
+	// effects are identical to serial. Inter-query concurrency (many
+	// clients calling Query at once) is independent of this knob and
+	// always available.
+	Parallelism int
 	// Adaptive enables partial-view creation and routing. When false the
 	// engine answers every query with a full scan — the paper's baseline.
 	Adaptive bool

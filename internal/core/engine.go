@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"github.com/asv-db/asv/internal/bitvec"
 	"github.com/asv-db/asv/internal/storage"
@@ -14,20 +17,32 @@ import (
 // a side product of query processing, and realigns views after update
 // batches.
 //
-// An Engine is not safe for concurrent use: the paper's system processes
-// one query at a time; only the view-creation mmap work is offloaded to
-// the background mapping thread.
+// An Engine is safe for concurrent use. The discipline is a single
+// reader/writer lock per engine: routed read-only queries run under the
+// read lock — any number of clients scan simultaneously, through shared
+// or distinct views — while every operation that mutates shared state
+// (Update, FlushUpdates/AlignViews, CreateView, RebuildViews, Close)
+// takes the write lock. A query that grows the view set builds its
+// candidate entirely from private state during the read-locked scan and
+// only takes the write lock for the retention decision that publishes
+// it. The VM simulator below has its own locks, so background mapping
+// keeps overlapping with scanning exactly as in §2.3.
 type Engine struct {
 	col    *storage.Column
 	cfg    Config
 	set    *viewset.Set
 	mapper *view.Mapper
 
-	processed *bitvec.Vector // reused across multi-view queries
+	// mu serializes view-set mutation, page rewiring and the update
+	// buffer against the read-locked scan path.
+	mu      sync.RWMutex
+	pending []Update // buffered updates awaiting FlushUpdates (guarded by mu)
 
-	pending []Update // buffered updates awaiting FlushUpdates
+	// procPool recycles processed-page bitvectors for multi-view dedup;
+	// each query takes a private one, so concurrent scans never share.
+	procPool sync.Pool
 
-	stats Stats
+	stats engineStats
 }
 
 // Stats accumulates engine activity since creation (or ResetStats).
@@ -45,6 +60,52 @@ type Stats struct {
 	PagesRemoved    uint64 // view pages removed by update alignment
 }
 
+// engineStats is the lock-free internal counterpart of Stats: counters
+// are bumped from concurrent read-locked queries, so each is atomic.
+type engineStats struct {
+	queries         atomic.Uint64
+	fullViewQueries atomic.Uint64
+	pagesScanned    atomic.Uint64
+	viewsCreated    atomic.Uint64
+	viewsReplaced   atomic.Uint64
+	viewsDiscarded  atomic.Uint64
+	viewsEvicted    atomic.Uint64
+	updatesBuffered atomic.Uint64
+	updateBatches   atomic.Uint64
+	pagesAdded      atomic.Uint64
+	pagesRemoved    atomic.Uint64
+}
+
+func (s *engineStats) snapshot() Stats {
+	return Stats{
+		Queries:         s.queries.Load(),
+		FullViewQueries: s.fullViewQueries.Load(),
+		PagesScanned:    s.pagesScanned.Load(),
+		ViewsCreated:    s.viewsCreated.Load(),
+		ViewsReplaced:   s.viewsReplaced.Load(),
+		ViewsDiscarded:  s.viewsDiscarded.Load(),
+		ViewsEvicted:    s.viewsEvicted.Load(),
+		UpdatesBuffered: s.updatesBuffered.Load(),
+		UpdateBatches:   s.updateBatches.Load(),
+		PagesAdded:      s.pagesAdded.Load(),
+		PagesRemoved:    s.pagesRemoved.Load(),
+	}
+}
+
+func (s *engineStats) reset() {
+	s.queries.Store(0)
+	s.fullViewQueries.Store(0)
+	s.pagesScanned.Store(0)
+	s.viewsCreated.Store(0)
+	s.viewsReplaced.Store(0)
+	s.viewsDiscarded.Store(0)
+	s.viewsEvicted.Store(0)
+	s.updatesBuffered.Store(0)
+	s.updateBatches.Store(0)
+	s.pagesAdded.Store(0)
+	s.pagesRemoved.Store(0)
+}
+
 // NewEngine wraps a filled column in an adaptive storage layer.
 func NewEngine(col *storage.Column, cfg Config) (*Engine, error) {
 	if err := cfg.validate(); err != nil {
@@ -53,15 +114,28 @@ func NewEngine(col *storage.Column, cfg Config) (*Engine, error) {
 	set := viewset.New(view.NewFull(col), cfg.MaxViews, cfg.DiscardTolerance, cfg.ReplaceTolerance)
 	set.SetLimitPolicy(cfg.Limit)
 	e := &Engine{
-		col:       col,
-		cfg:       cfg,
-		set:       set,
-		processed: bitvec.New(col.NumPages()),
+		col: col,
+		cfg: cfg,
+		set: set,
 	}
 	if cfg.Adaptive && cfg.Create.Concurrent {
 		e.mapper = view.NewMapper(cfg.MapperQueueCap)
 	}
 	return e, nil
+}
+
+// resolveWorkers maps a Parallelism knob value to a scan worker count:
+// 0 selects 1 (serial, the paper's behaviour), a positive value is taken
+// literally, and a negative value selects GOMAXPROCS.
+func resolveWorkers(n int) int {
+	switch {
+	case n == 0:
+		return 1
+	case n < 0:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return n
+	}
 }
 
 // Column returns the underlying physical column.
@@ -73,20 +147,26 @@ func (e *Engine) Config() Config { return e.cfg }
 // ViewSet returns the engine's view index.
 func (e *Engine) ViewSet() *viewset.Set { return e.set }
 
-// Views returns the current partial views.
-func (e *Engine) Views() []*view.View { return e.set.Partials() }
+// Views returns a snapshot of the current partial views.
+func (e *Engine) Views() []*view.View {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.set.Partials()
+}
 
 // Stats returns a snapshot of the cumulative counters.
-func (e *Engine) Stats() Stats { return e.stats }
+func (e *Engine) Stats() Stats { return e.stats.snapshot() }
 
 // ResetStats zeroes the cumulative counters.
-func (e *Engine) ResetStats() { e.stats = Stats{} }
+func (e *Engine) ResetStats() { e.stats.reset() }
 
 // CreateView builds a partial view over [lo, hi] directly from the full
 // view and inserts it, bypassing the adaptive retention rules. The §3.1
 // micro-benchmark and the §3.4 update experiments set up their views this
 // way.
 func (e *Engine) CreateView(lo, hi uint64) (*view.View, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	v, err := view.Create(e.col, lo, hi, e.cfg.Create, e.mapper)
 	if err != nil {
 		return nil, err
@@ -104,6 +184,8 @@ func (e *Engine) CreateView(lo, hi uint64) (*view.View, error) {
 // dropped rather than flushed: the rebuild scans the column's current
 // contents, which already include every applied write.
 func (e *Engine) RebuildViews() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.pending = nil
 	old := e.set.Clear()
 	type rng struct{ lo, hi uint64 }
@@ -130,9 +212,12 @@ func (e *Engine) RebuildViews() error {
 	return nil
 }
 
-// Close releases all partial views and stops the mapping thread. The
-// column itself stays usable (and must be closed by its owner).
+// Close releases all partial views and stops the mapping thread. It waits
+// for in-flight queries to drain. The column itself stays usable (and
+// must be closed by its owner).
 func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var firstErr error
 	for _, v := range e.set.Clear() {
 		if err := v.Release(); err != nil && firstErr == nil {
@@ -146,18 +231,23 @@ func (e *Engine) Close() error {
 	return firstErr
 }
 
-// resetProcessed clears (or right-sizes) the processed-pages bitvector.
-func (e *Engine) resetProcessed() *bitvec.Vector {
-	if e.processed.Len() != e.col.NumPages() {
-		e.processed = bitvec.New(e.col.NumPages())
-	} else {
-		e.processed.Reset()
+// getProcessed takes a cleared processed-pages bitvector sized to the
+// column from the pool (or allocates one).
+func (e *Engine) getProcessed() *bitvec.Vector {
+	if v, ok := e.procPool.Get().(*bitvec.Vector); ok && v.Len() == e.col.NumPages() {
+		v.Reset()
+		return v
 	}
-	return e.processed
+	return bitvec.New(e.col.NumPages())
 }
+
+// putProcessed returns a bitvector to the pool.
+func (e *Engine) putProcessed(v *bitvec.Vector) { e.procPool.Put(v) }
 
 // String summarizes the engine state.
 func (e *Engine) String() string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return fmt.Sprintf("Engine(%s, %d partial views, frozen=%v)",
 		e.cfg.Mode, e.set.Len(), e.set.Frozen())
 }

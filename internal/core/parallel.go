@@ -1,0 +1,113 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/asv-db/asv/internal/storage"
+)
+
+// minParallelScanPages aliases the storage layer's sharding threshold so
+// both kernels agree on when a scan is too small to split.
+const minParallelScanPages = storage.MinParallelScanPages
+
+// scanPages is the engine-side parallel scan kernel: it filters n pages
+// against [lo, hi] with `workers` page-sharded goroutines and reduces the
+// shards in page order with storage.PageScan.Merge, so every aggregate is
+// byte-identical to the serial loop.
+//
+// fetch(i) resolves the i-th page and must be safe for concurrent calls —
+// view and column soft-TLBs are fully resolved before a scan can reach
+// them, making page access a pure read. The returned `qual` merges the
+// pages with at least one match (its Count/Sum are the query answer);
+// `excl` merges the zero-match pages (its boundary fields feed
+// candidate-range extension, §2.2).
+//
+// emit, when non-nil, is invoked for every qualifying page strictly in
+// page order from the calling goroutine — the candidate builder and row
+// collectors depend on that order — after the sharded scan joins (or
+// inline on the serial path). With one worker, a small n, or emit-only
+// runs the kernel degenerates to the plain serial loop.
+func scanPages(n, workers int, lo, hi uint64,
+	fetch func(int) ([]byte, error),
+	emit func(pid uint64, pg []byte)) (qual, excl storage.PageScan, err error) {
+
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < minParallelScanPages {
+		for i := 0; i < n; i++ {
+			pg, ferr := fetch(i)
+			if ferr != nil {
+				return qual, excl, ferr
+			}
+			s := storage.ScanFilter(pg, lo, hi)
+			if s.Count == 0 {
+				excl.Merge(s)
+				continue
+			}
+			qual.Merge(s)
+			if emit != nil {
+				emit(storage.PageID(pg), pg)
+			}
+		}
+		return qual, excl, nil
+	}
+
+	type shard struct {
+		qual, excl storage.PageScan
+		hits       [][]byte // qualifying pages of the block, in page order
+		err        error
+	}
+	shards := make([]shard, workers)
+	per := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		start, end := w*per, (w+1)*per
+		if end > n {
+			end = n
+		}
+		if start >= end {
+			break
+		}
+		wg.Add(1)
+		go func(w, start, end int) {
+			defer wg.Done()
+			sh := &shards[w]
+			for i := start; i < end; i++ {
+				pg, ferr := fetch(i)
+				if ferr != nil {
+					sh.err = ferr
+					return
+				}
+				s := storage.ScanFilter(pg, lo, hi)
+				if s.Count == 0 {
+					sh.excl.Merge(s)
+					continue
+				}
+				sh.qual.Merge(s)
+				if emit != nil {
+					sh.hits = append(sh.hits, pg)
+				}
+			}
+		}(w, start, end)
+	}
+	wg.Wait()
+
+	for w := range shards {
+		if shards[w].err != nil {
+			return qual, excl, shards[w].err
+		}
+	}
+	// Reduce in block order: blocks are contiguous page ranges, so this
+	// replays the serial page order exactly.
+	for w := range shards {
+		qual.Merge(shards[w].qual)
+		excl.Merge(shards[w].excl)
+		if emit != nil {
+			for _, pg := range shards[w].hits {
+				emit(storage.PageID(pg), pg)
+			}
+		}
+	}
+	return qual, excl, nil
+}

@@ -23,15 +23,32 @@ type QueryResult struct {
 }
 
 // Query answers the inclusive range query [lo, hi], creating and
-// maintaining partial views as a side product (Listing 1).
+// maintaining partial views as a side product (Listing 1). Scan work uses
+// Config.Parallelism page-sharded workers (default: serial).
 //
 // If updates are pending (buffered via Update but not yet flushed), Query
 // flushes them first: partial views must reflect all updates before they
 // may answer queries (§2.4), and returning stale answers is never
 // acceptable. Callers that want update batching simply issue updates in
 // runs between queries — exactly the paper's model.
+//
+// Query is safe for concurrent callers: read-only routed scans share the
+// engine's read lock, while view publication and update alignment are
+// serialized behind the write lock.
 func (e *Engine) Query(lo, hi uint64) (QueryResult, error) {
 	return e.queryCollect(lo, hi, nil)
+}
+
+// QueryParallel answers [lo, hi] like Query but scans with the given
+// number of page-sharded workers (<= 0 selects GOMAXPROCS), overriding
+// Config.Parallelism for this query. The answer — and every adaptive side
+// effect, including the candidate view's page set — is identical to the
+// serial Query: shards reduce in page order with commutative aggregates.
+func (e *Engine) QueryParallel(lo, hi uint64, workers int) (QueryResult, error) {
+	if workers <= 0 {
+		workers = -1 // resolveWorkers: GOMAXPROCS
+	}
+	return e.queryCollectWorkers(lo, hi, nil, workers)
 }
 
 // route returns the source views for [lo, hi] according to the configured
@@ -68,26 +85,29 @@ func (e *Engine) route(lo, hi uint64) []*view.View {
 
 // applyDecision performs the side effects of a retention decision:
 // releasing discarded candidates, displaced views, and evicted views, and
-// updating counters.
+// updating counters. A displaced view is released after it left the set —
+// readers admitted later cannot route to it, and the reader that displaced
+// it has finished scanning, so the unmap never races a scan.
 func (e *Engine) applyDecision(dec viewset.Decision, cand, displaced *view.View) error {
 	switch dec {
 	case viewset.Inserted:
-		e.stats.ViewsCreated++
+		e.stats.viewsCreated.Add(1)
 	case viewset.Replaced:
-		e.stats.ViewsReplaced++
+		e.stats.viewsReplaced.Add(1)
 		return displaced.Release()
 	case viewset.Evicted:
-		e.stats.ViewsCreated++
-		e.stats.ViewsEvicted++
+		e.stats.viewsCreated.Add(1)
+		e.stats.viewsEvicted.Add(1)
 		return displaced.Release()
 	default:
-		e.stats.ViewsDiscarded++
+		e.stats.viewsDiscarded.Add(1)
 		return cand.Release()
 	}
 	return nil
 }
 
-// fullScan answers [lo, hi] from the full view only (baseline mode).
+// fullScan answers [lo, hi] from the full view only (baseline mode); the
+// caller holds the read lock.
 func (e *Engine) fullScan(lo, hi uint64) (QueryResult, error) {
-	return e.fullScanCollect(lo, hi, nil)
+	return e.fullScanCollect(lo, hi, nil, 1)
 }

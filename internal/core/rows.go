@@ -115,68 +115,98 @@ func (e *Engine) QueryAggregate(lo, hi uint64) (Aggregate, QueryResult, error) {
 
 // queryCollect runs the full Listing-1 query path and additionally invokes
 // collect for every qualifying page (after dedup), letting callers
-// materialize matches without duplicating the adaptive machinery.
+// materialize matches without duplicating the adaptive machinery. The scan
+// worker count comes from Config.Parallelism.
 func (e *Engine) queryCollect(lo, hi uint64, collect func(pageID uint64, pg []byte)) (QueryResult, error) {
+	return e.queryCollectWorkers(lo, hi, collect, e.cfg.Parallelism)
+}
+
+// queryCollectWorkers is queryCollect with an explicit parallelism knob
+// (see resolveWorkers). Locking discipline: the routed scan — including
+// candidate construction, which touches only query-private state — runs
+// under the read lock; only flushing pending updates and the retention
+// decision that publishes the candidate take the write lock.
+func (e *Engine) queryCollectWorkers(lo, hi uint64, collect func(uint64, []byte), parallelism int) (QueryResult, error) {
 	if lo > hi {
 		lo, hi = hi, lo
 	}
-	e.stats.Queries++
+	e.stats.queries.Add(1)
+	workers := resolveWorkers(parallelism)
 
 	if !e.cfg.Adaptive {
-		res, err := e.fullScanCollect(lo, hi, collect)
-		return res, err
-	}
-	if len(e.pending) > 0 {
-		if _, err := e.FlushUpdates(); err != nil {
-			return QueryResult{}, err
-		}
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		return e.fullScanCollect(lo, hi, collect, workers)
 	}
 
+	// Partial views must reflect all updates before they may answer
+	// queries (§2.4), and returning stale answers is never acceptable. An
+	// update that slips in between the flush and the read-lock reacquire
+	// simply re-runs the loop.
+	e.mu.RLock()
+	for len(e.pending) > 0 {
+		e.mu.RUnlock()
+		e.mu.Lock()
+		// Re-check under the write lock: a racing query may have flushed
+		// the same batch first, and an empty flush would still count an
+		// update batch in the stats.
+		var err error
+		if len(e.pending) > 0 {
+			_, err = e.flushLocked()
+		}
+		e.mu.Unlock()
+		if err != nil {
+			return QueryResult{}, err
+		}
+		e.mu.RLock()
+	}
+	res, cand, err := e.scanLocked(lo, hi, collect, workers)
+	e.mu.RUnlock()
+	if err != nil || cand == nil {
+		return res, err
+	}
+
+	e.mu.Lock()
+	dec, displaced := e.set.Consider(cand)
+	e.mu.Unlock()
+	res.CandidateBuilt = true
+	res.Decision = dec
+	if err := e.applyDecision(dec, cand, displaced); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// scanLocked is the read-locked body of a routed query: route, scan every
+// source (through the parallel kernel when workers > 1), and build the
+// candidate view. It returns the finished candidate (nil when the set is
+// frozen) for the caller to publish under the write lock.
+func (e *Engine) scanLocked(lo, hi uint64, collect func(uint64, []byte), workers int) (QueryResult, *view.View, error) {
 	sources := e.route(lo, hi)
 	res := QueryResult{ViewsUsed: len(sources)}
 	for _, sv := range sources {
 		if sv.Full() {
 			res.UsedFullView = true
-			e.stats.FullViewQueries++
+			e.stats.fullViewQueries.Add(1)
 		}
 	}
-	var processed = e.processed
+	var processed *bitvec.Vector
 	if len(sources) > 1 {
-		processed = e.resetProcessed()
-	} else {
-		processed = nil
+		processed = e.getProcessed()
+		defer e.putProcessed(processed)
 	}
 	var builder *view.Builder
 	if !e.set.Frozen() {
 		var err error
 		builder, err = view.NewBuilder(e.col, e.cfg.Create, e.mapper)
 		if err != nil {
-			return res, err
+			return res, nil, err
 		}
 	}
 	ext := view.NewRangeExtender(lo, hi)
-	for _, sv := range sources {
-		n := sv.NumPages()
-		for i := 0; i < n; i++ {
-			pg, err := sv.PageBytes(i)
-			if err != nil {
-				if builder != nil {
-					_ = builder.Abort()
-				}
-				return res, err
-			}
-			pid := storage.PageID(pg)
-			if processed != nil && processed.TestAndSet(int(pid)) {
-				continue
-			}
-			s := storage.ScanFilter(pg, lo, hi)
-			res.PagesScanned++
-			if s.Count == 0 {
-				ext.ObserveExcluded(s)
-				continue
-			}
-			res.Count += s.Count
-			res.Sum += s.Sum
+	var emit func(pid uint64, pg []byte)
+	if collect != nil || builder != nil {
+		emit = func(pid uint64, pg []byte) {
 			if collect != nil {
 				collect(pid, pg)
 			}
@@ -185,10 +215,77 @@ func (e *Engine) queryCollect(lo, hi uint64, collect func(pageID uint64, pg []by
 			}
 		}
 	}
-	e.stats.PagesScanned += uint64(res.PagesScanned)
+	for _, sv := range sources {
+		n := sv.NumPages()
+		fetch := sv.PageBytes
+		if processed != nil {
+			if workers <= 1 {
+				// Serial multi-view scan: keep dedup and filter fused in
+				// one allocation-free pass (the paper's hot path).
+				for i := 0; i < n; i++ {
+					pg, err := sv.PageBytes(i)
+					if err != nil {
+						if builder != nil {
+							_ = builder.Abort()
+						}
+						return res, nil, err
+					}
+					pid := storage.PageID(pg)
+					if processed.TestAndSet(int(pid)) {
+						continue
+					}
+					s := storage.ScanFilter(pg, lo, hi)
+					res.PagesScanned++
+					if s.Count == 0 {
+						ext.ObserveExcluded(s)
+						continue
+					}
+					res.Count += s.Count
+					res.Sum += s.Sum
+					if emit != nil {
+						emit(pid, pg)
+					}
+				}
+				continue
+			}
+			// Sharded multi-view scan: resolve this source's
+			// not-yet-processed pages in scan order before splitting —
+			// identity resolution is a soft-TLB read, so the prepass costs
+			// a few ns per page and keeps TestAndSet single-threaded
+			// (bitvec is not atomic).
+			refs := make([][]byte, 0, n)
+			for i := 0; i < n; i++ {
+				pg, err := sv.PageBytes(i)
+				if err != nil {
+					if builder != nil {
+						_ = builder.Abort()
+					}
+					return res, nil, err
+				}
+				if processed.TestAndSet(int(storage.PageID(pg))) {
+					continue
+				}
+				refs = append(refs, pg)
+			}
+			n = len(refs)
+			fetch = func(i int) ([]byte, error) { return refs[i], nil }
+		}
+		qual, excl, err := scanPages(n, workers, lo, hi, fetch, emit)
+		if err != nil {
+			if builder != nil {
+				_ = builder.Abort()
+			}
+			return res, nil, err
+		}
+		res.PagesScanned += n
+		res.Count += qual.Count
+		res.Sum += qual.Sum
+		ext.ObserveExcluded(excl)
+	}
+	e.stats.pagesScanned.Add(uint64(res.PagesScanned))
 
 	if builder == nil {
-		return res, nil
+		return res, nil, nil
 	}
 	cLo, cHi := ext.Range()
 	srcLo, srcHi := e.set.CoveredInterval(sources, lo, hi)
@@ -200,38 +297,35 @@ func (e *Engine) queryCollect(lo, hi uint64, collect func(pageID uint64, pg []by
 	}
 	cand, err := builder.Finish(cLo, cHi)
 	if err != nil {
-		return res, err
+		return res, nil, err
 	}
-	res.CandidateBuilt = true
-	dec, displaced := e.set.Consider(cand)
-	res.Decision = dec
-	if err := e.applyDecision(dec, cand, displaced); err != nil {
-		return res, err
-	}
-	return res, nil
+	return res, cand, nil
 }
 
-// fullScanCollect is the baseline path of queryCollect.
-func (e *Engine) fullScanCollect(lo, hi uint64, collect func(uint64, []byte)) (QueryResult, error) {
-	full := e.set.Full()
+// fullScanCollect is the baseline path of queryCollect; the caller holds
+// the read lock. Pure aggregates go through the storage scan kernel
+// (FullScanParallel); only collecting callers need the page-emitting
+// engine kernel.
+func (e *Engine) fullScanCollect(lo, hi uint64, collect func(uint64, []byte), workers int) (QueryResult, error) {
 	res := QueryResult{ViewsUsed: 1, UsedFullView: true}
-	for i := 0; i < full.NumPages(); i++ {
-		pg, err := full.PageBytes(i)
+	if collect == nil {
+		count, sum, err := e.col.FullScanParallel(lo, hi, workers)
 		if err != nil {
 			return res, err
 		}
-		s := storage.ScanFilter(pg, lo, hi)
-		res.PagesScanned++
-		if s.Count == 0 {
-			continue
+		res.Count = count
+		res.Sum = sum
+	} else {
+		full := e.set.Full()
+		qual, _, err := scanPages(full.NumPages(), workers, lo, hi, full.PageBytes, collect)
+		if err != nil {
+			return res, err
 		}
-		res.Count += s.Count
-		res.Sum += s.Sum
-		if collect != nil {
-			collect(storage.PageID(pg), pg)
-		}
+		res.Count = qual.Count
+		res.Sum = qual.Sum
 	}
-	e.stats.PagesScanned += uint64(res.PagesScanned)
-	e.stats.FullViewQueries++
+	res.PagesScanned = e.col.NumPages()
+	e.stats.pagesScanned.Add(uint64(res.PagesScanned))
+	e.stats.fullViewQueries.Add(1)
 	return res, nil
 }

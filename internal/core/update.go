@@ -40,36 +40,58 @@ type UpdateStats struct {
 // Update writes newVal to row through the full view and buffers the
 // (row, old, new) triple for the next FlushUpdates. This is the paper's
 // model: updates happen through the full view immediately; partial views
-// are realigned in batches (§2.4).
+// are realigned in batches (§2.4). Update takes the engine's write lock:
+// a write must never land on a page a concurrent scan is reading.
 func (e *Engine) Update(row int, newVal uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	old, err := e.col.SetValue(row, newVal)
 	if err != nil {
 		return err
 	}
 	e.pending = append(e.pending, Update{Row: row, Old: old, New: newVal})
-	e.stats.UpdatesBuffered++
+	e.stats.updatesBuffered.Add(1)
 	return nil
 }
 
 // PendingUpdates returns the number of buffered updates.
-func (e *Engine) PendingUpdates() int { return len(e.pending) }
+func (e *Engine) PendingUpdates() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.pending)
+}
 
 // FlushUpdates aligns all partial views with the buffered update batch and
-// clears the buffer.
+// clears the buffer, holding the write lock for the whole alignment.
 func (e *Engine) FlushUpdates() (UpdateStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.flushLocked()
+}
+
+// flushLocked is FlushUpdates for callers already holding the write lock.
+func (e *Engine) flushLocked() (UpdateStats, error) {
 	batch := e.pending
 	e.pending = nil
-	return e.AlignViews(batch)
+	return e.alignLocked(batch)
 }
 
 // AlignViews realigns every partial view with an update batch whose writes
 // have already been applied to the column. It implements §2.4 end to end:
 // last-write-per-row squashing, grouping by physical page, one maps-file
 // parse into a bimap (§2.5), and the per-page add/keep/remove decision for
-// each view.
+// each view. Alignment rewires view pages in place, so it holds the write
+// lock for the whole batch.
 func (e *Engine) AlignViews(batch []Update) (UpdateStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.alignLocked(batch)
+}
+
+// alignLocked is the AlignViews body; the caller holds the write lock.
+func (e *Engine) alignLocked(batch []Update) (UpdateStats, error) {
 	st := UpdateStats{BatchSize: len(batch)}
-	e.stats.UpdateBatches++
+	e.stats.updateBatches.Add(1)
 	if len(batch) == 0 || e.set.Len() == 0 {
 		return st, nil
 	}
@@ -123,8 +145,8 @@ func (e *Engine) AlignViews(batch []Update) (UpdateStats, error) {
 		}
 	}
 	st.AlignDuration = time.Since(t1)
-	e.stats.PagesAdded += uint64(st.PagesAdded)
-	e.stats.PagesRemoved += uint64(st.PagesRemoved)
+	e.stats.pagesAdded.Add(uint64(st.PagesAdded))
+	e.stats.pagesRemoved.Add(uint64(st.PagesRemoved))
 	return st, nil
 }
 

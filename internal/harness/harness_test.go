@@ -245,3 +245,33 @@ func TestRunTable1(t *testing.T) {
 		}
 	}
 }
+
+func TestRunConcurrent(t *testing.T) {
+	s := tinyScale()
+	s.Queries = 24 // split across up to 8 clients
+	tbl, err := RunConcurrent(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "concurrent" {
+		t.Fatalf("id = %q", tbl.ID)
+	}
+	wantCols := len(concurrentModes()) + 1
+	if len(tbl.Header) != wantCols {
+		t.Fatalf("header %v, want %d columns", tbl.Header, wantCols)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want one per client count", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != wantCols {
+			t.Fatalf("row %v: %d cells", row, len(row))
+		}
+		for _, cell := range row[1:] {
+			qps, err := strconv.ParseFloat(cell, 64)
+			if err != nil || qps <= 0 {
+				t.Fatalf("row %v: bad throughput cell %q", row, cell)
+			}
+		}
+	}
+}

@@ -142,6 +142,12 @@ func (b *Builder) Finish(lo, hi uint64) (*View, error) {
 	}
 	b.v.numPages = b.nextSlot
 	b.v.lo, b.v.hi = lo, hi
+	// Warm the soft-TLB before the view becomes visible: concurrent
+	// readers then never write view state (see View.tlb).
+	if err := b.v.warmTLB(); err != nil {
+		_ = b.v.Release()
+		return nil, err
+	}
 	return b.v, nil
 }
 

@@ -30,9 +30,12 @@ var ErrFullView = errors.New("view: operation not valid on the full view")
 // View is a virtual view over a column: either the full view or a partial
 // view covering the inclusive value range [Lo, Hi].
 //
-// Views are not safe for concurrent mutation; the adaptive engine
-// serializes query processing and update alignment. Concurrent reads
-// through different views are safe.
+// Views are not safe for concurrent mutation; the adaptive engine takes
+// its write lock around update alignment, page rewiring and release.
+// Concurrent reads — through the same view or different views — are safe:
+// the soft-TLB is fully resolved when a view becomes visible (NewFull,
+// Builder.Finish, AppendPage), so PageBytes never writes shared state on
+// the read path.
 type View struct {
 	col      *storage.Column
 	addr     vmsim.Addr
@@ -49,14 +52,18 @@ type View struct {
 	// software, so without this cache every view read would pay an
 	// artificial page-table cost that the paper's system does not. The
 	// cache is exact: a slot's mapping only ever changes through
-	// AppendPage and RemovePageAt, which invalidate it.
+	// AppendPage and RemovePageAt, which maintain it. Every constructor
+	// resolves all mapped slots up front (warmTLB), keeping PageBytes
+	// write-free so concurrent readers share the view without locking.
 	tlb [][]byte
 }
 
 // NewFull wraps a column's always-present full view. Releasing it is a
-// no-op: the column owns its mapping.
+// no-op: the column owns its mapping. The soft-TLB is seeded from the
+// column's (fully resolved at NewColumn), so reads through the full view
+// never write view state.
 func NewFull(col *storage.Column) *View {
-	return &View{
+	v := &View{
 		col:      col,
 		addr:     col.FullViewAddr(),
 		capacity: col.NumPages(),
@@ -64,7 +71,31 @@ func NewFull(col *storage.Column) *View {
 		lo:       0,
 		hi:       ^uint64(0),
 		full:     true,
+		tlb:      make([][]byte, col.NumPages()),
 	}
+	for i := range v.tlb {
+		// The full mapping exists for the column's lifetime; resolution
+		// cannot fail here, and a nil entry would only fall back to the
+		// lazy single-threaded path.
+		v.tlb[i], _ = col.PageBytes(i)
+	}
+	return v
+}
+
+// warmTLB resolves every mapped slot's translation. Constructors call it
+// before a view becomes visible to readers, so the scan path stays free
+// of writes (and of the simulated page-table lock).
+func (v *View) warmTLB() error {
+	tlb := make([][]byte, v.numPages)
+	for i := range tlb {
+		pg, err := v.col.Space().PageData(vmsim.VPN(v.BaseVPN() + uint64(i)))
+		if err != nil {
+			return err
+		}
+		tlb[i] = pg
+	}
+	v.tlb = tlb
+	return nil
 }
 
 // Column returns the underlying column.
@@ -208,7 +239,13 @@ func (v *View) AppendPage(filePage int) (uint64, error) {
 	}
 	v.numPages++
 	if v.tlb != nil {
-		v.tlb = append(v.tlb, nil) // new slot: translation not yet cached
+		// Resolve the new slot now: readers admitted after this mutation
+		// must find a fully-warmed TLB (PageBytes never writes it).
+		pg, err := v.col.Space().PageData(vmsim.VPN(v.BaseVPN() + uint64(slot)))
+		if err != nil {
+			return 0, err
+		}
+		v.tlb = append(v.tlb, pg)
 	}
 	return v.BaseVPN() + uint64(slot), nil
 }

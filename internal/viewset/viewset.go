@@ -7,11 +7,22 @@
 // replace an existing view, or are discarded according to the subset /
 // superset rules with the user-set discard tolerance d and replacement
 // tolerance r.
+//
+// Concurrency contract: the read side — RouteSingle, RouteMulti, Full,
+// Partials, Len, Frozen, CoveredInterval — is safe for any number of
+// concurrent callers (the LRU clock is atomic, the recency map has its
+// own lock, and the partial-view slice is copy-on-write, so routing only
+// ever reads immutable snapshots). The write side — Consider, Insert,
+// Clear, SetLimitPolicy — must be externally serialized against both
+// readers and other writers; the adaptive engine holds its write lock
+// around every call.
 package viewset
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/asv-db/asv/internal/view"
 )
@@ -86,7 +97,11 @@ func (p LimitPolicy) String() string {
 
 // Set is the view index of one column.
 type Set struct {
-	full        *view.View
+	full *view.View
+	// partials is copy-on-write: every mutation installs a freshly built
+	// slice, never writing an element a concurrent reader could hold. A
+	// routing pass captures the header once and works on an immutable
+	// snapshot.
 	partials    []*view.View
 	maxViews    int
 	discardTol  int // d: pages of slack when discarding subsets
@@ -94,7 +109,9 @@ type Set struct {
 	frozen      bool
 	limitPolicy LimitPolicy
 
-	clock    uint64                // logical routing clock for LRU
+	clock atomic.Uint64 // logical routing clock for LRU
+
+	lruMu    sync.Mutex            // guards lastUsed (touched by concurrent routers)
 	lastUsed map[*view.View]uint64 // last routing tick per partial view
 }
 
@@ -118,18 +135,30 @@ func New(full *view.View, maxViews, discardTol, replaceTol int) *Set {
 // SetLimitPolicy selects the behaviour when the view limit is hit.
 func (s *Set) SetLimitPolicy(p LimitPolicy) { s.limitPolicy = p }
 
-// touch records a routing hit for LRU accounting.
-func (s *Set) touch(v *view.View) {
-	if !v.Full() {
-		s.lastUsed[v] = s.clock
+// touch records a routing hit at the given clock tick for LRU accounting.
+func (s *Set) touch(v *view.View, tick uint64) {
+	if v.Full() {
+		return
 	}
+	s.lruMu.Lock()
+	if tick > s.lastUsed[v] {
+		s.lastUsed[v] = tick
+	}
+	s.lruMu.Unlock()
 }
 
 // Full returns the full view.
 func (s *Set) Full() *view.View { return s.full }
 
-// Partials returns the current partial views (shared slice; do not modify).
-func (s *Set) Partials() []*view.View { return s.partials }
+// Partials returns a snapshot of the current partial views. The returned
+// slice is the caller's to keep: mutations never write a published slice
+// in place.
+func (s *Set) Partials() []*view.View {
+	ps := s.partials
+	out := make([]*view.View, len(ps))
+	copy(out, ps)
+	return out
+}
 
 // Len returns the number of partial views.
 func (s *Set) Len() int { return len(s.partials) }
@@ -143,14 +172,14 @@ func (s *Set) Frozen() bool { return s.frozen }
 // fully cover [lo, hi], return the one indexing the fewest physical pages.
 // The full view always qualifies, so the result is never nil.
 func (s *Set) RouteSingle(lo, hi uint64) *view.View {
-	s.clock++
+	tick := s.clock.Add(1)
 	best := s.full
 	for _, v := range s.partials {
 		if v.Covers(lo, hi) && v.NumPages() < best.NumPages() {
 			best = v
 		}
 	}
-	s.touch(best)
+	s.touch(best, tick)
 	return best
 }
 
@@ -166,12 +195,13 @@ func (s *Set) RouteSingle(lo, hi uint64) *view.View {
 // returns nil when the partial views cannot cover the range; the caller
 // then falls back to RouteSingle.
 func (s *Set) RouteMulti(lo, hi uint64) []*view.View {
-	s.clock++
+	tick := s.clock.Add(1)
+	ps := s.partials // immutable snapshot
 	var out []*view.View
 	c := lo
 	for {
 		var best *view.View
-		for _, v := range s.partials {
+		for _, v := range ps {
 			if v.Lo() <= c && c <= v.Hi() {
 				if best == nil || v.NumPages() < best.NumPages() ||
 					(v.NumPages() == best.NumPages() && v.Hi() > best.Hi()) {
@@ -183,7 +213,7 @@ func (s *Set) RouteMulti(lo, hi uint64) []*view.View {
 			return nil
 		}
 		out = append(out, best)
-		s.touch(best)
+		s.touch(best, tick)
 		if best.Hi() >= hi {
 			return out
 		}
@@ -191,10 +221,19 @@ func (s *Set) RouteMulti(lo, hi uint64) []*view.View {
 	}
 }
 
+// replaceAt installs cand in place of the view at index i, copy-on-write.
+func (s *Set) replaceAt(i int, cand *view.View) {
+	next := make([]*view.View, len(s.partials))
+	copy(next, s.partials)
+	next[i] = cand
+	s.partials = next
+}
+
 // Consider runs the retention decision of Listing 1 (lines 21–32) for a
 // finished candidate view. It returns the decision and, for Replaced, the
 // displaced view — the caller is responsible for releasing the candidate
-// on any Discarded* decision and the displaced view on Replaced.
+// on any Discarded* decision and the displaced view on Replaced. Consider
+// is a write operation (see the package concurrency contract).
 func (s *Set) Consider(cand *view.View) (Decision, *view.View) {
 	if cand.NumPages() >= s.full.NumPages() {
 		return DiscardedNotSmaller, nil
@@ -206,15 +245,18 @@ func (s *Set) Consider(cand *view.View) (Decision, *view.View) {
 		}
 		if cand.CoversSupersetOf(pv) && cand.NumPages() <= pv.NumPages()+s.replaceTol {
 			// Wider range at similar cost: strictly more useful.
-			old := s.partials[i]
-			s.partials[i] = cand
+			old := pv
+			s.replaceAt(i, cand)
+			s.lruMu.Lock()
 			s.lastUsed[cand] = s.lastUsed[old]
 			delete(s.lastUsed, old)
+			s.lruMu.Unlock()
 			return Replaced, old
 		}
 	}
 	if len(s.partials) >= s.maxViews {
 		if s.limitPolicy == EvictLRU && len(s.partials) > 0 {
+			s.lruMu.Lock()
 			victimIdx := 0
 			for i, pv := range s.partials {
 				if s.lastUsed[pv] < s.lastUsed[s.partials[victimIdx]] {
@@ -222,37 +264,47 @@ func (s *Set) Consider(cand *view.View) (Decision, *view.View) {
 				}
 			}
 			victim := s.partials[victimIdx]
-			s.partials[victimIdx] = cand
 			delete(s.lastUsed, victim)
-			s.lastUsed[cand] = s.clock
+			s.lastUsed[cand] = s.clock.Load()
+			s.lruMu.Unlock()
+			s.replaceAt(victimIdx, cand)
 			return Evicted, victim
 		}
 		s.frozen = true
 		return DiscardedLimit, nil
 	}
-	s.partials = append(s.partials, cand)
-	s.lastUsed[cand] = s.clock
+	next := make([]*view.View, len(s.partials), len(s.partials)+1)
+	copy(next, s.partials)
+	s.partials = append(next, cand)
+	s.lruMu.Lock()
+	s.lastUsed[cand] = s.clock.Load()
+	s.lruMu.Unlock()
 	return Inserted, nil
 }
 
 // Insert adds a view unconditionally (used by rebuilds and by experiment
 // setup that creates views directly, §3.1/§3.4). It fails once maxViews is
-// reached.
+// reached. Insert is a write operation.
 func (s *Set) Insert(v *view.View) error {
 	if len(s.partials) >= s.maxViews {
 		return fmt.Errorf("viewset: view limit %d reached", s.maxViews)
 	}
-	s.partials = append(s.partials, v)
+	next := make([]*view.View, len(s.partials), len(s.partials)+1)
+	copy(next, s.partials)
+	s.partials = append(next, v)
 	return nil
 }
 
 // Clear removes and returns all partial views (the caller releases them)
-// and unfreezes the set. Used when rebuilding views from scratch.
+// and unfreezes the set. Used when rebuilding views from scratch. Clear is
+// a write operation.
 func (s *Set) Clear() []*view.View {
 	out := s.partials
 	s.partials = nil
 	s.frozen = false
+	s.lruMu.Lock()
 	s.lastUsed = make(map[*view.View]uint64)
+	s.lruMu.Unlock()
 	return out
 }
 

@@ -68,6 +68,30 @@ func FixedSelectivity(seed uint64, n int, domainHi uint64, sel float64) []Query 
 	return qs
 }
 
+// ConcurrentClients generates the multi-client throughput workload: one
+// deterministic query stream per client, all derived from a single seed.
+// Client i's stream depends only on (seed, i, n, domainHi, sel) — never on
+// how many goroutines consume the streams or in which order they run — so
+// a concurrent benchmark fires exactly the same queries as its serial
+// re-check. Each stream fixes the selected range width to sel × domainHi
+// (the §3.2 fixed-selectivity shape) at per-client uniform positions, so
+// every client exercises its own hot ranges and the adaptive layer sees a
+// realistic mixed workload.
+func ConcurrentClients(seed uint64, clients, n int, domainHi uint64, sel float64) [][]Query {
+	if clients <= 0 {
+		panic("workload: bad client count")
+	}
+	out := make([][]Query, clients)
+	for i := range out {
+		// Decorrelate the per-client seeds with one splitmix64 step; xrand
+		// seeds that differ in one increment would otherwise start from
+		// correlated streams.
+		s := seed + uint64(i)*0x9e3779b97f4a7c15
+		out[i] = FixedSelectivity(xrand.Splitmix64(&s), n, domainHi, sel)
+	}
+	return out
+}
+
 // PointUpdate describes one row overwrite to be applied.
 type PointUpdate struct {
 	Row   int

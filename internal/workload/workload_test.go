@@ -118,3 +118,68 @@ func TestPanicsOnBadParameters(t *testing.T) {
 		}()
 	}
 }
+
+func TestConcurrentClientsDeterministic(t *testing.T) {
+	const (
+		clients = 4
+		n       = 25
+		domain  = uint64(100_000_000)
+		sel     = 0.01
+	)
+	a := ConcurrentClients(42, clients, n, domain, sel)
+	b := ConcurrentClients(42, clients, n, domain, sel)
+	if len(a) != clients {
+		t.Fatalf("clients = %d", len(a))
+	}
+	for c := range a {
+		if len(a[c]) != n {
+			t.Fatalf("client %d: %d queries", c, len(a[c]))
+		}
+		for i := range a[c] {
+			if a[c][i] != b[c][i] {
+				t.Fatalf("client %d query %d: %+v != %+v — streams not deterministic",
+					c, i, a[c][i], b[c][i])
+			}
+			if a[c][i].Hi > domain || a[c][i].Lo > a[c][i].Hi {
+				t.Fatalf("client %d query %d out of domain: %+v", c, i, a[c][i])
+			}
+		}
+	}
+	// Distinct clients must fire distinct streams (decorrelated seeds).
+	same := 0
+	for i := range a[0] {
+		if a[0][i] == a[1][i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("client 0 and client 1 streams are identical")
+	}
+	// A stream is a prefix-stable function of its parameters: asking for
+	// fewer queries yields the same leading queries.
+	short := ConcurrentClients(42, clients, n/2, domain, sel)
+	for c := range short {
+		for i := range short[c] {
+			if short[c][i] != a[c][i] {
+				t.Fatalf("client %d: stream not prefix-stable at %d", c, i)
+			}
+		}
+	}
+}
+
+func TestConcurrentClientsPanicsOnBadParameters(t *testing.T) {
+	for i, f := range []func(){
+		func() { ConcurrentClients(1, 0, 10, 100, 0.5) },
+		func() { ConcurrentClients(1, -1, 10, 100, 0.5) },
+		func() { ConcurrentClients(1, 2, 10, 100, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
