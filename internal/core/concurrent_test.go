@@ -7,6 +7,8 @@ import (
 
 	"github.com/asv-db/asv/internal/dist"
 	"github.com/asv-db/asv/internal/storage"
+	"github.com/asv-db/asv/internal/view"
+	"github.com/asv-db/asv/internal/viewset"
 	"github.com/asv-db/asv/internal/vmsim"
 	"github.com/asv-db/asv/internal/workload"
 	"github.com/asv-db/asv/internal/xrand"
@@ -313,5 +315,128 @@ func TestConcurrentStatsAndViewsReads(t *testing.T) {
 	eng.ResetStats()
 	if got := eng.Stats(); got.Queries != 0 {
 		t.Fatalf("reset left %+v", got)
+	}
+}
+
+// TestStaleCandidateDiscarded pins the TOCTOU window between the
+// read-locked scan that builds a candidate and the write-locked retention
+// decision that publishes it: if an update alignment or a view rebuild
+// runs in that window, the candidate's page set was built from pre-flush
+// state and alignment (which only walks set members) can never repair it,
+// so publishCandidate must discard it instead of publishing a view that
+// would answer every future routed query incorrectly.
+func TestStaleCandidateDiscarded(t *testing.T) {
+	col := testColumn(t, 64, dist.NewClustered(7, 0, ccDomain, 0.05))
+	eng := newEngine(t, col, syncConfig())
+
+	scan := func(lo, hi uint64) (*view.View, uint64) {
+		t.Helper()
+		eng.mu.RLock()
+		defer eng.mu.RUnlock()
+		_, cand, err := eng.scanLocked(lo, hi, nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cand == nil {
+			t.Fatal("no candidate built")
+		}
+		return cand, eng.gen
+	}
+
+	// No intervening mutation: the candidate publishes normally.
+	cand, gen := scan(100, ccDomain/10)
+	dec, displaced := eng.publishCandidate(cand, gen)
+	if dec != viewset.Inserted || displaced != nil {
+		t.Fatalf("fresh candidate: %v (displaced %v), want inserted", dec, displaced)
+	}
+	if err := eng.applyDecision(dec, cand, displaced); err != nil {
+		t.Fatal(err)
+	}
+
+	// An Update+FlushUpdates pair lands in the window: stale.
+	cand, gen = scan(ccDomain/2, ccDomain/2+ccDomain/10)
+	if err := eng.Update(0, ccDomain/2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.FlushUpdates(); err != nil {
+		t.Fatal(err)
+	}
+	dec, displaced = eng.publishCandidate(cand, gen)
+	if dec != viewset.DiscardedStale {
+		t.Fatalf("post-flush candidate: %v, want %v", dec, viewset.DiscardedStale)
+	}
+	if err := eng.applyDecision(dec, cand, displaced); err != nil {
+		t.Fatal(err)
+	}
+
+	// A rebuild lands in the window: stale (the rebuild dropped the
+	// pending list, so no later flush would carry the batch either).
+	cand, gen = scan(ccDomain/4, ccDomain/4+ccDomain/10)
+	if err := eng.RebuildViews(); err != nil {
+		t.Fatal(err)
+	}
+	dec, displaced = eng.publishCandidate(cand, gen)
+	if dec != viewset.DiscardedStale {
+		t.Fatalf("post-rebuild candidate: %v, want %v", dec, viewset.DiscardedStale)
+	}
+	if err := eng.applyDecision(dec, cand, displaced); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.ViewsDiscarded != 2 {
+		t.Fatalf("ViewsDiscarded = %d, want 2", st.ViewsDiscarded)
+	}
+}
+
+// TestCloseDiscardsLateCandidates checks the companion hazard: a query
+// whose candidate publication races with Close must not insert into the
+// cleared set — that would leak the candidate's mapping and leave the
+// closed engine with views, violating Close's "releases all partial
+// views" contract.
+func TestCloseDiscardsLateCandidates(t *testing.T) {
+	col := testColumn(t, 64, dist.NewClustered(8, 0, ccDomain, 0.05))
+	eng := newEngine(t, col, syncConfig())
+
+	// Sanity: the engine adapts while open.
+	res, err := eng.Query(0, ccDomain/20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CandidateBuilt || res.Decision != viewset.Inserted {
+		t.Fatalf("pre-close query did not adapt: %+v", res)
+	}
+	// A scan in flight when Close lands: its candidate must be discarded,
+	// never inserted into the cleared set.
+	eng.mu.RLock()
+	_, cand, err := eng.scanLocked(ccDomain/3, ccDomain/3+ccDomain/20, nil, 1)
+	gen := eng.gen
+	eng.mu.RUnlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand == nil {
+		t.Fatal("no candidate built")
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dec, displaced := eng.publishCandidate(cand, gen)
+	if dec != viewset.DiscardedStale {
+		t.Fatalf("candidate racing Close: %v, want %v", dec, viewset.DiscardedStale)
+	}
+	if err := eng.applyDecision(dec, cand, displaced); err != nil {
+		t.Fatal(err)
+	}
+
+	// The full view outlives Close (the column owns it), so queries still
+	// answer — but a closed engine skips candidate construction entirely.
+	res, err = eng.Query(ccDomain/2, ccDomain/2+ccDomain/20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CandidateBuilt {
+		t.Fatalf("post-close query built a candidate: %+v", res)
+	}
+	if n := len(eng.Views()); n != 0 {
+		t.Fatalf("closed engine holds %d partial views", n)
 	}
 }

@@ -38,6 +38,19 @@ type Engine struct {
 	mu      sync.RWMutex
 	pending []Update // buffered updates awaiting FlushUpdates (guarded by mu)
 
+	// gen counts the mutations that invalidate an in-flight candidate
+	// view: update alignment, view rebuild, and engine close (guarded by
+	// mu). A query captures gen during its read-locked scan; if the value
+	// changed by the time it reacquires the write lock to publish its
+	// candidate, the candidate's page set was built from pre-mutation
+	// state (alignment only walks set members, so a late-published view
+	// would never be realigned) and is discarded instead of published.
+	gen uint64
+	// closed is set by Close (guarded by mu); a late publisher must not
+	// insert its candidate into the cleared set, which would leak the
+	// candidate's mapping past Close.
+	closed bool
+
 	// procPool recycles processed-page bitvectors for multi-view dedup;
 	// each query takes a private one, so concurrent scans never share.
 	procPool sync.Pool
@@ -52,7 +65,7 @@ type Stats struct {
 	PagesScanned    uint64 // physical pages read by queries
 	ViewsCreated    uint64 // candidates inserted as new views
 	ViewsReplaced   uint64 // candidates that replaced an existing view
-	ViewsDiscarded  uint64 // candidates discarded by the retention rules
+	ViewsDiscarded  uint64 // candidates discarded (retention rules or stale publication)
 	ViewsEvicted    uint64 // LRU evictions under the EvictLRU limit policy
 	UpdatesBuffered uint64 // updates accepted via Update
 	UpdateBatches   uint64 // FlushUpdates / AlignViews invocations
@@ -111,7 +124,11 @@ func NewEngine(col *storage.Column, cfg Config) (*Engine, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	set := viewset.New(view.NewFull(col), cfg.MaxViews, cfg.DiscardTolerance, cfg.ReplaceTolerance)
+	full, err := view.NewFull(col)
+	if err != nil {
+		return nil, err
+	}
+	set := viewset.New(full, cfg.MaxViews, cfg.DiscardTolerance, cfg.ReplaceTolerance)
 	set.SetLimitPolicy(cfg.Limit)
 	e := &Engine{
 		col: col,
@@ -186,6 +203,7 @@ func (e *Engine) CreateView(lo, hi uint64) (*view.View, error) {
 func (e *Engine) RebuildViews() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.gen++ // in-flight candidates were routed over the pre-rebuild set
 	e.pending = nil
 	old := e.set.Clear()
 	type rng struct{ lo, hi uint64 }
@@ -218,6 +236,8 @@ func (e *Engine) RebuildViews() error {
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.gen++
+	e.closed = true
 	var firstErr error
 	for _, v := range e.set.Clear() {
 		if err := v.Release(); err != nil && firstErr == nil {

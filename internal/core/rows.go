@@ -6,6 +6,7 @@ import (
 	"github.com/asv-db/asv/internal/bitvec"
 	"github.com/asv-db/asv/internal/storage"
 	"github.com/asv-db/asv/internal/view"
+	"github.com/asv-db/asv/internal/viewset"
 )
 
 // RowSet is the result of a row-materializing query: one bit per row of
@@ -161,20 +162,37 @@ func (e *Engine) queryCollectWorkers(lo, hi uint64, collect func(uint64, []byte)
 		e.mu.RLock()
 	}
 	res, cand, err := e.scanLocked(lo, hi, collect, workers)
+	gen := e.gen
 	e.mu.RUnlock()
 	if err != nil || cand == nil {
 		return res, err
 	}
 
-	e.mu.Lock()
-	dec, displaced := e.set.Consider(cand)
-	e.mu.Unlock()
+	dec, displaced := e.publishCandidate(cand, gen)
 	res.CandidateBuilt = true
 	res.Decision = dec
 	if err := e.applyDecision(dec, cand, displaced); err != nil {
 		return res, err
 	}
 	return res, nil
+}
+
+// publishCandidate takes the write lock and runs the retention decision
+// for a candidate built during a read-locked scan that observed
+// generation gen. Reacquiring the lock opens a window: an update
+// alignment, rebuild or close may have run since the scan, in which case
+// the candidate's page set is stale — alignment only walks set members,
+// so publishing it now would install a view no flush will ever repair —
+// or the set is gone entirely (Close must not regrow, and must not leak,
+// late candidates). Such candidates are reported DiscardedStale for the
+// caller to release instead of being published.
+func (e *Engine) publishCandidate(cand *view.View, gen uint64) (viewset.Decision, *view.View) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed || e.gen != gen {
+		return viewset.DiscardedStale, nil
+	}
+	return e.set.Consider(cand)
 }
 
 // scanLocked is the read-locked body of a routed query: route, scan every
@@ -196,7 +214,10 @@ func (e *Engine) scanLocked(lo, hi uint64, collect func(uint64, []byte), workers
 		defer e.putProcessed(processed)
 	}
 	var builder *view.Builder
-	if !e.set.Frozen() {
+	// closed is stable once set (readable under the read lock): a closed
+	// engine's candidates would be discarded at publication anyway, so
+	// skip building them rather than mmap-and-release on every query.
+	if !e.set.Frozen() && !e.closed {
 		var err error
 		builder, err = view.NewBuilder(e.col, e.cfg.Create, e.mapper)
 		if err != nil {

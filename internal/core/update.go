@@ -92,7 +92,15 @@ func (e *Engine) AlignViews(batch []Update) (UpdateStats, error) {
 func (e *Engine) alignLocked(batch []Update) (UpdateStats, error) {
 	st := UpdateStats{BatchSize: len(batch)}
 	e.stats.updateBatches.Add(1)
-	if len(batch) == 0 || e.set.Len() == 0 {
+	if len(batch) == 0 {
+		return st, nil
+	}
+	// Invalidate in-flight candidates even when the set is empty: a
+	// candidate scanned before this batch is not a set member yet, so
+	// this alignment cannot reach it, and no later flush will carry the
+	// batch again.
+	e.gen++
+	if e.set.Len() == 0 {
 		return st, nil
 	}
 

@@ -84,11 +84,17 @@ func RunConcurrent(s Scale) (*Table, error) {
 // repetitions on fresh engines and returns the best observed throughput
 // (best-of-n damps scheduler noise, the usual throughput convention).
 func runConcurrentCell(s Scale, m concurrentMode, clients int) (float64, error) {
-	perClient := s.Queries / clients
-	if perClient == 0 {
-		perClient = 1
+	// Split s.Queries across clients exactly: the first rem clients run one
+	// extra query so every cell executes the volume the table title states.
+	// Streams are generated one query longer and truncated — FixedSelectivity
+	// draws queries sequentially, so a truncated stream is the same prefix a
+	// shorter generation would produce.
+	base := s.Queries / clients
+	rem := s.Queries % clients
+	streams := workload.ConcurrentClients(s.Seed, clients, base+1, fig4Domain, concurrentSel)
+	for i := rem; i < clients; i++ {
+		streams[i] = streams[i][:base]
 	}
-	streams := workload.ConcurrentClients(s.Seed, clients, perClient, fig4Domain, concurrentSel)
 
 	var best float64
 	for run := 0; run < s.Runs; run++ {
@@ -144,7 +150,7 @@ func runConcurrentCell(s Scale, m concurrentMode, clients int) (float64, error) 
 		if colErr != nil {
 			return 0, colErr
 		}
-		if qps := float64(clients*perClient) / elapsed.Seconds(); qps > best {
+		if qps := float64(s.Queries) / elapsed.Seconds(); qps > best {
 			best = qps
 		}
 	}

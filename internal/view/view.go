@@ -61,8 +61,11 @@ type View struct {
 // NewFull wraps a column's always-present full view. Releasing it is a
 // no-op: the column owns its mapping. The soft-TLB is seeded from the
 // column's (fully resolved at NewColumn), so reads through the full view
-// never write view state.
-func NewFull(col *storage.Column) *View {
+// never write view state. A resolution failure is propagated rather than
+// left as a nil slot: a nil entry would silently re-enable the lazy
+// PageBytes fallback, which writes the TLB under concurrent read-locked
+// scanners.
+func NewFull(col *storage.Column) (*View, error) {
 	v := &View{
 		col:      col,
 		addr:     col.FullViewAddr(),
@@ -74,12 +77,13 @@ func NewFull(col *storage.Column) *View {
 		tlb:      make([][]byte, col.NumPages()),
 	}
 	for i := range v.tlb {
-		// The full mapping exists for the column's lifetime; resolution
-		// cannot fail here, and a nil entry would only fall back to the
-		// lazy single-threaded path.
-		v.tlb[i], _ = col.PageBytes(i)
+		pg, err := col.PageBytes(i)
+		if err != nil {
+			return nil, fmt.Errorf("view: warming full-view TLB: %w", err)
+		}
+		v.tlb[i] = pg
 	}
-	return v
+	return v, nil
 }
 
 // warmTLB resolves every mapped slot's translation. Constructors call it

@@ -44,7 +44,10 @@ func qualifyingPages(t testing.TB, c *storage.Column, lo, hi uint64) map[uint64]
 
 func TestFullViewProperties(t *testing.T) {
 	c := testColumn(t, 32, dist.NewUniform(1, 0, 1000))
-	fv := NewFull(c)
+	fv, err := NewFull(c)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !fv.Full() || fv.NumPages() != 32 {
 		t.Fatalf("full view: full=%v pages=%d", fv.Full(), fv.NumPages())
 	}

@@ -48,6 +48,12 @@ const (
 	// Evicted: the view limit was reached under the EvictLRU policy; the
 	// least-recently-routed partial view made room for the candidate.
 	Evicted
+	// DiscardedStale: the engine invalidated the candidate before it
+	// could be published — an update alignment, view rebuild or engine
+	// close ran between the read-locked scan that built it and the
+	// write-locked retention decision, so its page set no longer reflects
+	// the column.
+	DiscardedStale
 )
 
 // String renders the decision for logs and reports.
@@ -63,6 +69,8 @@ func (d Decision) String() string {
 		return "discarded(subset-of-existing)"
 	case DiscardedLimit:
 		return "discarded(view-limit)"
+	case DiscardedStale:
+		return "discarded(stale-candidate)"
 	case Evicted:
 		return "inserted(evicted-lru)"
 	default:

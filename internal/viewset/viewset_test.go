@@ -42,7 +42,11 @@ func (f *fixture) mkView(lo, hi uint64) *view.View {
 }
 
 func (f *fixture) newSet(maxViews, d, r int) *Set {
-	return New(view.NewFull(f.col), maxViews, d, r)
+	full, err := view.NewFull(f.col)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	return New(full, maxViews, d, r)
 }
 
 func TestRouteSinglePrefersSmallest(t *testing.T) {
@@ -293,7 +297,11 @@ func TestCoveredInterval(t *testing.T) {
 		t.Fatalf("CoveredInterval = [%d,%d], want [100,500]", lo, hi)
 	}
 	// Full view source covers the whole domain.
-	lo, hi = s.CoveredInterval([]*view.View{view.NewFull(f.col)}, 5, 10)
+	full, err := view.NewFull(f.col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi = s.CoveredInterval([]*view.View{full}, 5, 10)
 	if lo != 0 || hi != ^uint64(0) {
 		t.Fatalf("full-view interval = [%d,%d]", lo, hi)
 	}
