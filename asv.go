@@ -241,11 +241,13 @@ type ViewInfo struct {
 // Column is a physical column with its adaptive view layer.
 //
 // A Column is safe for concurrent use: any number of goroutines may call
-// Query/QueryRows/QueryAggregate simultaneously (they share a read lock),
-// while Update, FlushUpdates, CreateView and RebuildViews serialize
-// behind the write lock. Columns of one DB are independent — concurrent
-// work on different columns only meets at the simulated kernel, which
-// has its own locks.
+// Query/QueryRows/QueryAggregate simultaneously, and any number may call
+// Update/UpdateBatch simultaneously (writers append to page-sharded
+// buffers and only serialize per page group). The two groups exclude
+// each other — queries must observe fully aligned views — and
+// FlushUpdates, CreateView and RebuildViews are exclusive. Columns of
+// one DB are independent — concurrent work on different columns only
+// meets at the simulated kernel, which has its own locks.
 type Column struct {
 	db   *DB
 	col  *storage.Column
@@ -290,8 +292,20 @@ func (c *Column) QueryParallel(lo, hi uint64) (Result, error) {
 }
 
 // Update overwrites one row through the full view and buffers the change
-// for the next FlushUpdates.
+// for the next FlushUpdates. Concurrent Update callers proceed in
+// parallel: the write path is sharded by physical page (see
+// Config.UpdateShards), so writers only serialize against queries — and
+// against each other when they touch the same page group.
 func (c *Column) Update(row int, value uint64) error { return c.eng.Update(row, value) }
+
+// RowWrite is one row overwrite of an UpdateBatch call.
+type RowWrite = core.RowWrite
+
+// UpdateBatch applies a group of writes as one unit — group commit for
+// the write path. Semantically identical to calling Update per element
+// in order, but the group is admitted past concurrent readers once,
+// which is substantially faster under mixed read/write load.
+func (c *Column) UpdateBatch(writes []RowWrite) error { return c.eng.UpdateBatch(writes) }
 
 // FlushUpdates realigns all partial views with the buffered updates.
 func (c *Column) FlushUpdates() (UpdateReport, error) { return c.eng.FlushUpdates() }

@@ -12,7 +12,9 @@
 // Experiments: fig2, fig3, fig4a-f (d-f run the hotspot, clustered and
 // shifted scenario distributions beyond the paper), fig5a, fig5b, fig6a,
 // fig6b, fig7a, fig7b, table1, concurrent (multi-client throughput,
-// beyond the paper), all. The default scale is 1/16 of the paper's
+// beyond the paper), updates (mixed read/write throughput over the
+// sharded update write path, beyond the paper), all. The default scale
+// is 1/16 of the paper's
 // (65,536 pages ≈ 256 MiB per column); -pages 1048576 reproduces the
 // paper's full size if you have the memory and patience. -json emits one
 // JSON object per panel — the diffable shape CI archives as an artifact.
@@ -101,6 +103,9 @@ var experiments = []experiment{
 	}},
 	{"concurrent", "multi-client throughput vs routing mode (beyond the paper)", func(s harness.Scale) ([]*harness.Table, error) {
 		return one(harness.RunConcurrent(s))
+	}},
+	{"updates", "mixed read/write throughput: sharded buffers vs single pending buffer (beyond the paper)", func(s harness.Scale) ([]*harness.Table, error) {
+		return one(harness.RunUpdates(s))
 	}},
 }
 

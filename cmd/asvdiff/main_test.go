@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkPanel(id string, header []string, rows ...[]string) panel {
+	return panel{ID: id, Title: "t", Header: header, Rows: rows}
+}
+
+func TestIsRateColumn(t *testing.T) {
+	for name, want := range map[string]bool{
+		"single_qps":      true,
+		"sharded_upds":    true,
+		"aligned_pps":     true,
+		"clients":         false,
+		"reader_drop_pct": false,
+		"batch":           false,
+	} {
+		if got := isRateColumn(name); got != want {
+			t.Errorf("isRateColumn(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	header := []string{"clients", "single_qps"}
+	old := []panel{mkPanel("concurrent", header, []string{"1", "1000.00"}, []string{"2", "900.00"})}
+	cur := []panel{mkPanel("concurrent", header, []string{"1", "800.00"}, []string{"2", "880.00"})}
+	findings, regressed := comparePanels(old, cur, 15)
+	if !regressed {
+		t.Fatal("20% drop not flagged at 15% threshold")
+	}
+	var bad []string
+	for _, f := range findings {
+		if f.regression {
+			bad = append(bad, f.line)
+		}
+	}
+	if len(bad) != 1 || !strings.Contains(bad[0], "clients=1") {
+		t.Fatalf("regressions: %v", bad)
+	}
+}
+
+func TestCompareTolerancesAndImprovements(t *testing.T) {
+	header := []string{"clients", "single_qps"}
+	old := []panel{mkPanel("concurrent", header, []string{"1", "1000.00"})}
+	for _, cell := range []string{"860.00", "1000.00", "2500.00"} {
+		cur := []panel{mkPanel("concurrent", header, []string{"1", cell})}
+		if _, regressed := comparePanels(old, cur, 15); regressed {
+			t.Fatalf("cell %s flagged as regression", cell)
+		}
+	}
+	cur := []panel{mkPanel("concurrent", header, []string{"1", "840.00"})}
+	if _, regressed := comparePanels(old, cur, 15); !regressed {
+		t.Fatal("16% drop not flagged")
+	}
+}
+
+func TestCompareSkipsMissingPanelsAndRows(t *testing.T) {
+	header := []string{"writers", "readers", "batch", "sharded_upds"}
+	old := []panel{mkPanel("updates", header, []string{"1", "0", "256", "5000.00"})}
+	cur := []panel{
+		mkPanel("updates", header,
+			[]string{"1", "0", "256", "5100.00"},
+			[]string{"4", "2", "256", "100.00"}), // new sweep cell: no baseline
+		mkPanel("brandnew", []string{"x", "y_qps"}, []string{"1", "1.00"}),
+	}
+	findings, regressed := comparePanels(old, cur, 15)
+	if regressed {
+		t.Fatalf("new cells/panels must not fail the gate: %v", findings)
+	}
+	var text []string
+	for _, f := range findings {
+		text = append(text, f.line)
+	}
+	joined := strings.Join(text, "\n")
+	if !strings.Contains(joined, "brandnew: no previous panel") {
+		t.Fatalf("missing-panel note absent:\n%s", joined)
+	}
+	if !strings.Contains(joined, "new cell") {
+		t.Fatalf("missing-row note absent:\n%s", joined)
+	}
+}
+
+func TestRowKeyExcludesMeasurements(t *testing.T) {
+	header := []string{"writers", "readers", "batch", "sharded_upds", "reader_qps", "reader_drop_pct"}
+	// Same sweep cell, different measured values: the keys must match or
+	// every night's row would look "new" and the gate would never fire.
+	a := rowKey(header, []string{"2", "2", "256", "5000.00", "300.00", "41.27"})
+	b := rowKey(header, []string{"2", "2", "256", "4000.00", "250.00", "63.90"})
+	if a != b {
+		t.Fatalf("keys differ on measured cells: %q vs %q", a, b)
+	}
+	if !strings.Contains(a, "writers=2") || strings.Contains(a, "drop") {
+		t.Fatalf("key = %q", a)
+	}
+	old := []panel{mkPanel("updates", header, []string{"2", "2", "256", "5000.00", "300.00", "41.27"})}
+	cur := []panel{mkPanel("updates", header, []string{"2", "2", "256", "1000.00", "290.00", "80.00"})}
+	if _, regressed := comparePanels(old, cur, 15); !regressed {
+		t.Fatal("regression hidden behind a jittery measurement key")
+	}
+}
+
+func TestCompareMatchesRowsByKeyNotIndex(t *testing.T) {
+	header := []string{"clients", "single_qps"}
+	// Same cells, opposite row order: must still pair 1 with 1.
+	old := []panel{mkPanel("concurrent", header, []string{"1", "1000.00"}, []string{"2", "100.00"})}
+	cur := []panel{mkPanel("concurrent", header, []string{"2", "99.00"}, []string{"1", "990.00"})}
+	if _, regressed := comparePanels(old, cur, 15); regressed {
+		t.Fatal("row reordering produced a phantom regression")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	oldJSON := `{"id":"concurrent","title":"t","header":["clients","single_qps"],"rows":[["1","1000.00"]]}
+{"id":"updates","title":"t","header":["writers","sharded_upds"],"rows":[["2","40000.00"]]}`
+	newJSON := `{"id":"concurrent","title":"t","header":["clients","single_qps"],"rows":[["1","990.00"]]}
+{"id":"updates","title":"t","header":["writers","sharded_upds"],"rows":[["2","10000.00"]]}`
+	if err := os.WriteFile(oldPath, []byte(oldJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(newJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	regressed, err := run(oldPath, newPath, 15, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("updates collapse not flagged:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("report lacks REGRESSION marker:\n%s", buf.String())
+	}
+
+	if _, err := run(filepath.Join(dir, "absent.json"), newPath, 15, &buf); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"not":"a panel"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(bad, newPath, 15, &buf); err == nil {
+		t.Fatal("malformed input accepted")
+	}
+}

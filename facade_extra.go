@@ -114,6 +114,17 @@ func ConcurrentStreams(seed uint64, clients, n int, domainHi uint64, sel float64
 	return workload.ConcurrentClients(seed, clients, n, domainHi, sel)
 }
 
+// PointUpdate is one row overwrite of a generated update workload.
+type PointUpdate = workload.PointUpdate
+
+// ConcurrentUpdateStreams derives one deterministic update stream per
+// writer from a single seed (n uniform row overwrites each, values in
+// [valLo, valHi]). Writer i's stream never depends on scheduling or on
+// the writer count — the workload behind the `updates` asvbench panel.
+func ConcurrentUpdateStreams(seed uint64, writers, n, rows int, valLo, valHi uint64) [][]PointUpdate {
+	return workload.ConcurrentUpdaters(seed, writers, n, rows, valLo, valHi)
+}
+
 // Predicate is an inclusive range condition on one table column.
 type Predicate = table.Predicate
 

@@ -110,10 +110,21 @@ type Config struct {
 	// positive value selects that many workers, and a negative value
 	// selects GOMAXPROCS. Parallel scans reduce shard results in page
 	// order with commutative aggregates, so answers and adaptive side
-	// effects are identical to serial. Inter-query concurrency (many
-	// clients calling Query at once) is independent of this knob and
-	// always available.
+	// effects are identical to serial. Update alignment fans out across
+	// the same worker count, one view per worker, with per-view stat
+	// partials reduced in view order — again identical to serial.
+	// Inter-query concurrency (many clients calling Query at once) is
+	// independent of this knob and always available.
 	Parallelism int
+	// UpdateShards is the number of pending-buffer shards the write path
+	// hashes physical pages across: concurrent Update callers append
+	// under per-shard locks instead of one engine-wide buffer lock.
+	// FlushUpdates merges the shards into a single deterministic batch
+	// (page-sorted, arrival order within a page), so the shard count
+	// never changes query answers or alignment results. 0 (and any
+	// negative value) selects GOMAXPROCS; 1 reproduces the single-buffer
+	// write path.
+	UpdateShards int
 	// Adaptive enables partial-view creation and routing. When false the
 	// engine answers every query with a full scan — the paper's baseline.
 	Adaptive bool

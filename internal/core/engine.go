@@ -17,26 +17,43 @@ import (
 // a side product of query processing, and realigns views after update
 // batches.
 //
-// An Engine is safe for concurrent use. The discipline is a single
-// reader/writer lock per engine: routed read-only queries run under the
-// read lock — any number of clients scan simultaneously, through shared
-// or distinct views — while every operation that mutates shared state
-// (Update, FlushUpdates/AlignViews, CreateView, RebuildViews, Close)
-// takes the write lock. A query that grows the view set builds its
-// candidate entirely from private state during the read-locked scan and
-// only takes the write lock for the retention decision that publishes
-// it. The VM simulator below has its own locks, so background mapping
-// keeps overlapping with scanning exactly as in §2.3.
+// An Engine is safe for concurrent use. The discipline is a three-mode
+// room lock per engine (see roomLock): routed read-only queries share
+// the scan room — any number of clients scan simultaneously, through
+// shared or distinct views — concurrent Update callers share the update
+// room, appending to per-shard pending buffers (the per-shard lock
+// serializes writes to the same physical page), and every operation
+// that mutates view state (FlushUpdates/AlignViews, CreateView,
+// RebuildViews, Close) takes the exclusive room. A query that grows the
+// view set builds its candidate entirely from private state during the
+// scan-room pass and only takes the exclusive room for the retention
+// decision that publishes it. The VM simulator below has its own locks,
+// so background mapping keeps overlapping with scanning exactly as in
+// §2.3.
 type Engine struct {
 	col    *storage.Column
 	cfg    Config
 	set    *viewset.Set
 	mapper *view.Mapper
 
-	// mu serializes view-set mutation, page rewiring and the update
-	// buffer against the read-locked scan path.
-	mu      sync.RWMutex
-	pending []Update // buffered updates awaiting FlushUpdates (guarded by mu)
+	// mu serializes view-set mutation and page rewiring (exclusive room)
+	// against the scan room, and the scan room against the update room:
+	// column writes must never land on a page a concurrent scan is
+	// reading, and scans may only run when the views reflect every
+	// applied write (§2.4).
+	mu roomLock
+	// shards are the pending update buffers, hashed by physical page
+	// (Row / ValuesPerPage % len(shards)). Writers append under the
+	// update room plus the per-shard lock; the exclusive room drains
+	// them (takePendingLocked) into one deterministic batch.
+	shards       []updateShard
+	pendingCount atomic.Int64 // total buffered updates across all shards
+
+	// releaseHook/createHook intercept view release/creation during
+	// RebuildViews; tests inject faults through them. Nil selects the
+	// real operations.
+	releaseHook func(*view.View) error
+	createHook  func(lo, hi uint64) (*view.View, error)
 
 	// gen counts the mutations that invalidate an in-flight candidate
 	// view: update alignment, view rebuild, and engine close (guarded by
@@ -131,9 +148,10 @@ func NewEngine(col *storage.Column, cfg Config) (*Engine, error) {
 	set := viewset.New(full, cfg.MaxViews, cfg.DiscardTolerance, cfg.ReplaceTolerance)
 	set.SetLimitPolicy(cfg.Limit)
 	e := &Engine{
-		col: col,
-		cfg: cfg,
-		set: set,
+		col:    col,
+		cfg:    cfg,
+		set:    set,
+		shards: make([]updateShard, resolveShards(cfg.UpdateShards)),
 	}
 	if cfg.Adaptive && cfg.Create.Concurrent {
 		e.mapper = view.NewMapper(cfg.MapperQueueCap)
@@ -153,6 +171,18 @@ func resolveWorkers(n int) int {
 	default:
 		return n
 	}
+}
+
+// resolveShards maps the UpdateShards knob to a pending-buffer shard
+// count. Sharding never changes semantics (FlushUpdates merges shards
+// into one deterministic batch), so unlike Parallelism the default (0)
+// scales with the machine: GOMAXPROCS shards. A positive value is taken
+// literally — 1 reproduces the single-buffer write path.
+func resolveShards(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
 }
 
 // Column returns the underlying physical column.
@@ -195,39 +225,71 @@ func (e *Engine) CreateView(lo, hi uint64) (*view.View, error) {
 	return v, nil
 }
 
+// releaseView releases a view through the test-injectable hook.
+func (e *Engine) releaseView(v *view.View) error {
+	if e.releaseHook != nil {
+		return e.releaseHook(v)
+	}
+	return v.Release()
+}
+
+// createView builds a partial view over [lo, hi] through the
+// test-injectable hook.
+func (e *Engine) createView(lo, hi uint64) (*view.View, error) {
+	if e.createHook != nil {
+		return e.createHook(lo, hi)
+	}
+	return view.Create(e.col, lo, hi, e.cfg.Create, e.mapper)
+}
+
 // RebuildViews drops every partial view and recreates each one from
 // scratch over its covered range — the "New" (rebuild) alternative that
 // Figure 7 compares against incremental alignment. Pending updates are
 // dropped rather than flushed: the rebuild scans the column's current
 // contents, which already include every applied write.
+//
+// Errors are collected, not short-circuited: all ranges are recorded
+// before anything is released, releases proceed best-effort, and every
+// range is still rebuilt even when an earlier release or creation
+// failed — a mid-rebuild error must not leak the remaining old views or
+// silently drop their ranges from the rebuilt set. The first error is
+// returned.
 func (e *Engine) RebuildViews() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.gen++ // in-flight candidates were routed over the pre-rebuild set
-	e.pending = nil
+	e.resetPendingLocked()
 	old := e.set.Clear()
 	type rng struct{ lo, hi uint64 }
 	ranges := make([]rng, 0, len(old))
 	for _, v := range old {
 		ranges = append(ranges, rng{v.Lo(), v.Hi()})
-		if err := v.Release(); err != nil {
-			return err
+	}
+	var firstErr error
+	for _, v := range old {
+		if err := e.releaseView(v); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
 	for _, r := range ranges {
-		v, err := view.Create(e.col, r.lo, r.hi, e.cfg.Create, e.mapper)
+		v, err := e.createView(r.lo, r.hi)
 		if err != nil {
-			return err
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
 		}
 		// Rebuilt views keep their original declared range: Create may
 		// extend, but the view's contract is its pre-update range.
 		v.SetRange(r.lo, r.hi)
 		if err := e.set.Insert(v); err != nil {
 			_ = v.Release()
-			return err
+			if firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
-	return nil
+	return firstErr
 }
 
 // Close releases all partial views and stops the mapping thread. It waits

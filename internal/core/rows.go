@@ -141,18 +141,19 @@ func (e *Engine) queryCollectWorkers(lo, hi uint64, collect func(uint64, []byte)
 	}
 
 	// Partial views must reflect all updates before they may answer
-	// queries (§2.4), and returning stale answers is never acceptable. An
-	// update that slips in between the flush and the read-lock reacquire
-	// simply re-runs the loop.
+	// queries (§2.4), and returning stale answers is never acceptable.
+	// Writers are locked out while the scan room is occupied, so once the
+	// pending counter reads zero under the scan room it stays zero for
+	// the whole scan; an update that slips in between the flush and the
+	// scan-room reacquire simply re-runs the loop.
 	e.mu.RLock()
-	for len(e.pending) > 0 {
+	for e.pendingCount.Load() > 0 {
 		e.mu.RUnlock()
 		e.mu.Lock()
-		// Re-check under the write lock: a racing query may have flushed
-		// the same batch first, and an empty flush would still count an
-		// update batch in the stats.
+		// Re-check under the exclusive room: a racing query may have
+		// flushed the same batch first.
 		var err error
-		if len(e.pending) > 0 {
+		if e.pendingCount.Load() > 0 {
 			_, err = e.flushLocked()
 		}
 		e.mu.Unlock()

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/asv-db/asv/internal/procmaps"
@@ -17,6 +19,17 @@ type Update struct {
 	Row int
 	Old uint64
 	New uint64
+}
+
+// updateShard is one pending-buffer shard. Updates are routed to shards
+// by physical page (Row / ValuesPerPage % shards), so concurrent writers
+// of different pages append — and write the column — under different
+// locks, while writes to the same page serialize on its shard. The
+// trailing pad keeps neighbouring shard locks off one cache line.
+type updateShard struct {
+	mu  sync.Mutex
+	ups []Update
+	_   [32]byte
 }
 
 // UpdateStats reports the cost split of one alignment run — exactly the
@@ -37,64 +50,143 @@ type UpdateStats struct {
 	PagesScanned int // full-page rescans required by case (2)
 }
 
+// RowWrite is one row overwrite of a (batched) Update call.
+type RowWrite struct {
+	Row   int
+	Value uint64
+}
+
 // Update writes newVal to row through the full view and buffers the
 // (row, old, new) triple for the next FlushUpdates. This is the paper's
 // model: updates happen through the full view immediately; partial views
-// are realigned in batches (§2.4). Update takes the engine's write lock:
-// a write must never land on a page a concurrent scan is reading.
+// are realigned in batches (§2.4). Update enters the engine's shared
+// update room — concurrent writers proceed in parallel, serializing only
+// per pending-buffer shard (i.e. per group of physical pages) — while
+// the room lock keeps writes off pages a concurrent scan is reading.
 func (e *Engine) Update(row int, newVal uint64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.UpdateLock()
+	defer e.mu.UpdateUnlock()
+	return e.applyWrite(row, newVal)
+}
+
+// UpdateBatch applies a group of writes in one update-room entry — group
+// commit for the write path. It is semantically identical to calling
+// Update for each element in order (on error the prefix before the
+// failing write stays applied and buffered), but the single room
+// admission amortizes the reader/writer room handover across the group:
+// under concurrent readers, every room turn a lone Update wins admits a
+// one-update batch that the next query must flush and align in full.
+func (e *Engine) UpdateBatch(ws []RowWrite) error {
+	if len(ws) == 0 {
+		return nil
+	}
+	e.mu.UpdateLock()
+	defer e.mu.UpdateUnlock()
+	for _, w := range ws {
+		if err := e.applyWrite(w.Row, w.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyWrite performs one column write and buffers its triple in the
+// row's page shard. The caller holds the update room.
+func (e *Engine) applyWrite(row int, newVal uint64) error {
+	page, _, err := e.col.RowLocation(row)
+	if err != nil {
+		return err
+	}
+	sh := &e.shards[page%len(e.shards)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	old, err := e.col.SetValue(row, newVal)
 	if err != nil {
 		return err
 	}
-	e.pending = append(e.pending, Update{Row: row, Old: old, New: newVal})
+	sh.ups = append(sh.ups, Update{Row: row, Old: old, New: newVal})
+	e.pendingCount.Add(1)
 	e.stats.updatesBuffered.Add(1)
 	return nil
 }
 
-// PendingUpdates returns the number of buffered updates.
+// PendingUpdates returns the number of buffered updates. It reads an
+// atomic counter, so it never contends with writers or scans.
 func (e *Engine) PendingUpdates() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return len(e.pending)
+	return int(e.pendingCount.Load())
+}
+
+// takePendingLocked drains every shard into one batch with the
+// deterministic §2.4 merge order: ascending physical page, arrival order
+// within a page. A page hashes to exactly one shard, so each page's
+// updates are already in arrival order there and a stable sort restores
+// the single-buffer batch exactly — squashing produces byte-identical
+// results to the pre-sharding write path. The caller holds the exclusive
+// room, which happens-after every writer's update-room exit, so shard
+// slices are read without their locks.
+func (e *Engine) takePendingLocked() []Update {
+	n := int(e.pendingCount.Load())
+	if n == 0 {
+		return nil
+	}
+	batch := make([]Update, 0, n)
+	for i := range e.shards {
+		sh := &e.shards[i]
+		batch = append(batch, sh.ups...)
+		sh.ups = sh.ups[:0]
+	}
+	e.pendingCount.Store(0)
+	sort.SliceStable(batch, func(i, j int) bool {
+		return batch[i].Row/storage.ValuesPerPage < batch[j].Row/storage.ValuesPerPage
+	})
+	return batch
+}
+
+// resetPendingLocked drops all buffered updates (RebuildViews rescans
+// the column, which already holds every applied write). The caller holds
+// the exclusive room.
+func (e *Engine) resetPendingLocked() {
+	for i := range e.shards {
+		e.shards[i].ups = nil
+	}
+	e.pendingCount.Store(0)
 }
 
 // FlushUpdates aligns all partial views with the buffered update batch and
-// clears the buffer, holding the write lock for the whole alignment.
+// clears the buffers, holding the exclusive room for the whole alignment.
 func (e *Engine) FlushUpdates() (UpdateStats, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.flushLocked()
 }
 
-// flushLocked is FlushUpdates for callers already holding the write lock.
+// flushLocked is FlushUpdates for callers already holding the exclusive
+// room.
 func (e *Engine) flushLocked() (UpdateStats, error) {
-	batch := e.pending
-	e.pending = nil
-	return e.alignLocked(batch)
+	return e.alignLocked(e.takePendingLocked())
 }
 
 // AlignViews realigns every partial view with an update batch whose writes
 // have already been applied to the column. It implements §2.4 end to end:
 // last-write-per-row squashing, grouping by physical page, one maps-file
 // parse into a bimap (§2.5), and the per-page add/keep/remove decision for
-// each view. Alignment rewires view pages in place, so it holds the write
-// lock for the whole batch.
+// each view. Alignment rewires view pages in place, so it holds the
+// exclusive room for the whole batch.
 func (e *Engine) AlignViews(batch []Update) (UpdateStats, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.alignLocked(batch)
 }
 
-// alignLocked is the AlignViews body; the caller holds the write lock.
+// alignLocked is the AlignViews body; the caller holds the exclusive
+// room. Empty batches return immediately and are not counted as update
+// batches — a no-op FlushUpdates must not skew per-batch averages.
 func (e *Engine) alignLocked(batch []Update) (UpdateStats, error) {
 	st := UpdateStats{BatchSize: len(batch)}
-	e.stats.updateBatches.Add(1)
 	if len(batch) == 0 {
 		return st, nil
 	}
+	e.stats.updateBatches.Add(1)
 	// Invalidate in-flight candidates even when the set is empty: a
 	// candidate scanned before this batch is not a set member yet, so
 	// this alignment cannot reach it, and no later flush will carry the
@@ -145,12 +237,14 @@ func (e *Engine) alignLocked(batch []Update) (UpdateStats, error) {
 	st.ParseDuration = time.Since(t0)
 
 	// Step 4 (§2.4): align each partial view, maintaining the bimap from
-	// user space as pages are rewired.
+	// user space as pages are rewired. Per-view alignment is independent
+	// given the shared bimap (each worker rewires only its own view's
+	// virtual pages; cross-view bimap state is kept consistent by the
+	// bimap's sharded locks), so it fans out across Config.Parallelism
+	// workers exactly like the scan kernels.
 	t1 := time.Now()
-	for _, v := range e.set.Partials() {
-		if err := e.alignView(v, pages, byPage, bm, &st); err != nil {
-			return st, err
-		}
+	if err := e.alignPartials(pages, byPage, bm, &st); err != nil {
+		return st, err
 	}
 	st.AlignDuration = time.Since(t1)
 	e.stats.pagesAdded.Add(uint64(st.PagesAdded))
@@ -158,8 +252,67 @@ func (e *Engine) alignLocked(batch []Update) (UpdateStats, error) {
 	return st, nil
 }
 
+// alignPartials walks every partial view with the §2.4 decision
+// procedure, serially with one worker and view-sharded beyond that. Each
+// worker accumulates a private UpdateStats partial; partials are reduced
+// in view order, so the merged PagesAdded/PagesRemoved/PagesScanned are
+// identical to the serial walk. Error semantics differ from serial by
+// necessity: workers that already started cannot be unwound, so every
+// partial is merged — the stats reflect all rewiring that actually
+// happened — and the first error in view order is returned.
+func (e *Engine) alignPartials(pages []int, byPage map[int][]Update,
+	bm *procmaps.Bimap, st *UpdateStats) error {
+
+	parts := e.set.Partials()
+	workers := resolveWorkers(e.cfg.Parallelism)
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	if workers <= 1 {
+		for _, v := range parts {
+			if err := e.alignView(v, pages, byPage, bm, st); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	partStats := make([]UpdateStats, len(parts))
+	errs := make([]error, len(parts))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(parts) {
+					return
+				}
+				errs[i] = e.alignView(parts[i], pages, byPage, bm, &partStats[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	var firstErr error
+	for i := range parts {
+		st.PagesAdded += partStats[i].PagesAdded
+		st.PagesRemoved += partStats[i].PagesRemoved
+		st.PagesScanned += partStats[i].PagesScanned
+		if errs[i] != nil && firstErr == nil {
+			firstErr = errs[i]
+		}
+	}
+	return firstErr
+}
+
 // alignView applies the §2.4 decision procedure for one partial view
-// covering [a, b].
+// covering [a, b]. It is safe to run concurrently for distinct views:
+// it mutates only its own view's pages (and the bimap entries for that
+// view's virtual area), reads the column through the resolved soft-TLB,
+// and the VM simulator takes its own locks for the mmap/munmap calls.
 func (e *Engine) alignView(v *view.View, pages []int, byPage map[int][]Update,
 	bm *procmaps.Bimap, st *UpdateStats) error {
 	a, b := v.Lo(), v.Hi()

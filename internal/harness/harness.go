@@ -36,6 +36,10 @@ type Scale struct {
 	// Fig7Batches are the §3.4 batch sizes (paper: 100 … 1,000,000 in
 	// logarithmic steps).
 	Fig7Batches []int
+	// MixedUpdates is the total update volume of each cell of the mixed
+	// read/write throughput panel (beyond the paper), split across the
+	// cell's writers.
+	MixedUpdates int
 	// Progress receives human-readable progress lines (nil = silent).
 	Progress io.Writer
 }
@@ -43,13 +47,14 @@ type Scale struct {
 // DefaultScale returns the 1/16-scale configuration.
 func DefaultScale() Scale {
 	return Scale{
-		Seed:        42,
-		Pages:       65536,
-		Queries:     250,
-		Runs:        3,
-		Fig3Updates: 10000,
-		Fig7Views:   5,
-		Fig7Batches: []int{100, 1000, 10000, 100000, 1000000},
+		Seed:         42,
+		Pages:        65536,
+		Queries:      250,
+		Runs:         3,
+		Fig3Updates:  10000,
+		Fig7Views:    5,
+		Fig7Batches:  []int{100, 1000, 10000, 100000, 1000000},
+		MixedUpdates: 10000,
 	}
 }
 

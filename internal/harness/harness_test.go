@@ -12,13 +12,14 @@ import (
 // in EXPERIMENTS.md / the benchmarks.
 func tinyScale() Scale {
 	return Scale{
-		Seed:        42,
-		Pages:       1024,
-		Queries:     60,
-		Runs:        1,
-		Fig3Updates: 500,
-		Fig7Views:   3,
-		Fig7Batches: []int{100, 1000},
+		Seed:         42,
+		Pages:        1024,
+		Queries:      60,
+		Runs:         1,
+		Fig3Updates:  500,
+		Fig7Views:    3,
+		Fig7Batches:  []int{100, 1000},
+		MixedUpdates: 1000,
 	}
 }
 
@@ -242,6 +243,68 @@ func TestRunTable1(t *testing.T) {
 	for _, r := range tbl.Rows {
 		if _, err := strconv.ParseFloat(r[3], 64); err != nil {
 			t.Fatalf("speedup column broken: %v", r)
+		}
+	}
+}
+
+func TestRunUpdates(t *testing.T) {
+	s := tinyScale()
+	if raceEnabled {
+		// The panel sweeps real-time measurement windows per cell; with
+		// race-slowed flushes a full stream pass dominates. Shorter
+		// streams keep the sweep minutes cheaper without changing what
+		// is exercised.
+		s.MixedUpdates = 200
+	}
+	tbl, err := RunUpdates(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "updates" {
+		t.Fatalf("id = %q", tbl.ID)
+	}
+	wantHeader := []string{"writers", "readers", "batch",
+		"single_upds", "sharded_upds", "aligned_pps", "reader_qps", "reader_drop_pct"}
+	if len(tbl.Header) != len(wantHeader) {
+		t.Fatalf("header %v", tbl.Header)
+	}
+	for i, h := range wantHeader {
+		if tbl.Header[i] != h {
+			t.Fatalf("header[%d] = %q, want %q", i, tbl.Header[i], h)
+		}
+	}
+	if len(tbl.Rows) != len(updatesCells()) {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), len(updatesCells()))
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(wantHeader) {
+			t.Fatalf("row %v: %d cells", row, len(row))
+		}
+		readers, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatalf("row %v: bad readers cell", row)
+		}
+		// Both write-path columns and the aligned-pages rate must be
+		// positive in every cell: writers always run, and the narrow
+		// pre-created views guarantee page movement.
+		for _, idx := range []int{3, 4, 5} {
+			v, err := strconv.ParseFloat(row[idx], 64)
+			if err != nil || v <= 0 {
+				t.Fatalf("row %v: bad rate cell %q (col %d)", row, row[idx], idx)
+			}
+		}
+		qps, err := strconv.ParseFloat(row[6], 64)
+		if err != nil {
+			t.Fatalf("row %v: bad qps cell", row)
+		}
+		if readers > 0 && qps <= 0 {
+			t.Fatalf("row %v: readers present but no queries measured", row)
+		}
+		if readers == 0 && qps != 0 {
+			t.Fatalf("row %v: phantom reader throughput", row)
+		}
+		if _, err := strconv.ParseFloat(row[7], 64); err != nil {
+			t.Fatalf("row %v: bad drop cell", row)
 		}
 	}
 }

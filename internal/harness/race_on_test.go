@@ -1,0 +1,7 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports that this test binary runs under the race
+// detector; heavyweight panel sweeps shrink their volume accordingly.
+const raceEnabled = true

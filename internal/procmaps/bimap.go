@@ -1,5 +1,12 @@
 package procmaps
 
+import "sync"
+
+// bimapShards is the lock-shard count of both bimap directions. Sixteen
+// power-of-two shards keep the masked index cheap and make contention
+// between parallel per-view alignment workers unlikely.
+const bimapShards = 16
+
 // Bimap is a page-wise bidirectional map between virtual pages and file
 // (physical) pages of a single backing file — the stand-in for the Boost
 // bimap of §2.5. The forward direction (virtual → file page) is unique;
@@ -9,17 +16,49 @@ package procmaps
 // The bimap is built once from a parsed maps file before an update batch
 // and then "maintained from user-space during the update process": Add and
 // Remove keep both directions consistent while pages are rewired.
+//
+// Concurrency: both directions are lock-sharded (virtual pages by VPN,
+// file pages by page number), so alignment workers handling different
+// views mutate and read the bimap concurrently. Like per-region
+// translation state in general, per-view entries are naturally
+// independent: a virtual page belongs to exactly one view, so callers
+// must serialize operations on the same VPN externally (one worker per
+// view does exactly that), while reverse-direction reads (MappedIn,
+// VirtualPages) and cross-view list updates are kept consistent by the
+// file-page shard locks.
 type Bimap struct {
-	v2p map[uint64]int64   // virtual page number -> file page
-	p2v map[int64][]uint64 // file page -> virtual page numbers
+	v2p [bimapShards]vpnShard
+	p2v [bimapShards]fpShard
+}
+
+type vpnShard struct {
+	mu sync.Mutex
+	m  map[uint64]int64 // virtual page number -> file page
+}
+
+type fpShard struct {
+	mu sync.Mutex
+	m  map[int64][]uint64 // file page -> virtual page numbers
 }
 
 // NewBimap returns an empty bimap.
 func NewBimap() *Bimap {
-	return &Bimap{
-		v2p: make(map[uint64]int64),
-		p2v: make(map[int64][]uint64),
+	b := &Bimap{}
+	for i := range b.v2p {
+		b.v2p[i].m = make(map[uint64]int64)
 	}
+	for i := range b.p2v {
+		b.p2v[i].m = make(map[int64][]uint64)
+	}
+	return b
+}
+
+func (b *Bimap) vshard(vpn uint64) *vpnShard {
+	return &b.v2p[vpn&(bimapShards-1)]
+}
+
+func (b *Bimap) pshard(fp int64) *fpShard {
+	return &b.p2v[uint64(fp)&(bimapShards-1)]
 }
 
 // BuildBimap materializes the page-wise mapping of every area of mappings
@@ -44,27 +83,42 @@ func BuildBimap(mappings []Mapping, inode uint64, pageSize int) *Bimap {
 // Add records that virtual page vpn maps file page fp, replacing any
 // previous mapping of vpn.
 func (b *Bimap) Add(vpn uint64, fp int64) {
-	if old, ok := b.v2p[vpn]; ok {
+	vs := b.vshard(vpn)
+	vs.mu.Lock()
+	old, had := vs.m[vpn]
+	vs.m[vpn] = fp
+	vs.mu.Unlock()
+	if had {
 		b.dropReverse(old, vpn)
 	}
-	b.v2p[vpn] = fp
-	b.p2v[fp] = append(b.p2v[fp], vpn)
+	ps := b.pshard(fp)
+	ps.mu.Lock()
+	ps.m[fp] = append(ps.m[fp], vpn)
+	ps.mu.Unlock()
 }
 
 // Remove forgets the mapping of virtual page vpn. It reports whether the
 // page was mapped.
 func (b *Bimap) Remove(vpn uint64) bool {
-	fp, ok := b.v2p[vpn]
+	vs := b.vshard(vpn)
+	vs.mu.Lock()
+	fp, ok := vs.m[vpn]
+	if ok {
+		delete(vs.m, vpn)
+	}
+	vs.mu.Unlock()
 	if !ok {
 		return false
 	}
-	delete(b.v2p, vpn)
 	b.dropReverse(fp, vpn)
 	return true
 }
 
 func (b *Bimap) dropReverse(fp int64, vpn uint64) {
-	vs := b.p2v[fp]
+	ps := b.pshard(fp)
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	vs := ps.m[fp]
 	for i, v := range vs {
 		if v == vpn {
 			vs[i] = vs[len(vs)-1]
@@ -73,30 +127,48 @@ func (b *Bimap) dropReverse(fp int64, vpn uint64) {
 		}
 	}
 	if len(vs) == 0 {
-		delete(b.p2v, fp)
+		delete(ps.m, fp)
 	} else {
-		b.p2v[fp] = vs
+		ps.m[fp] = vs
 	}
 }
 
 // FilePage returns the file page mapped at virtual page vpn.
 func (b *Bimap) FilePage(vpn uint64) (int64, bool) {
-	fp, ok := b.v2p[vpn]
+	vs := b.vshard(vpn)
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	fp, ok := vs.m[vpn]
 	return fp, ok
 }
 
 // VirtualPages returns the virtual pages that map file page fp. The
-// returned slice is owned by the bimap; callers must not modify it.
+// returned slice is the caller's to keep (a private copy — the live list
+// may be mutated concurrently by other views' alignment workers).
 func (b *Bimap) VirtualPages(fp int64) []uint64 {
-	return b.p2v[fp]
+	ps := b.pshard(fp)
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	vs := ps.m[fp]
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]uint64, len(vs))
+	copy(out, vs)
+	return out
 }
 
 // MappedIn reports whether file page fp is mapped anywhere inside the
 // virtual page range [lo, hi), and returns the first such virtual page.
 // Update alignment uses this to test "is page p already indexed by this
 // partial view" (§2.4), with [lo, hi) being the view's virtual area.
+// Concurrent mutations of other views' entries never change the outcome:
+// the range filter only ever matches the calling view's own pages.
 func (b *Bimap) MappedIn(fp int64, lo, hi uint64) (uint64, bool) {
-	for _, v := range b.p2v[fp] {
+	ps := b.pshard(fp)
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for _, v := range ps.m[fp] {
 		if v >= lo && v < hi {
 			return v, true
 		}
@@ -105,4 +177,13 @@ func (b *Bimap) MappedIn(fp int64, lo, hi uint64) (uint64, bool) {
 }
 
 // Len returns the number of virtual pages currently recorded.
-func (b *Bimap) Len() int { return len(b.v2p) }
+func (b *Bimap) Len() int {
+	n := 0
+	for i := range b.v2p {
+		vs := &b.v2p[i]
+		vs.mu.Lock()
+		n += len(vs.m)
+		vs.mu.Unlock()
+	}
+	return n
+}

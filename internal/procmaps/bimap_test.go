@@ -1,6 +1,7 @@
 package procmaps
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -134,5 +135,100 @@ func TestQuickBimapConsistency(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestBimapConcurrentPerViewWorkers models parallel update alignment:
+// each worker owns a disjoint virtual-page range (its "view") but all
+// workers map and unmap the same shared file pages. Per-VPN operations
+// are serialized per worker (the bimap's contract); the shard locks must
+// keep the reverse lists consistent and MappedIn answers correct for
+// each worker's own range throughout.
+func TestBimapConcurrentPerViewWorkers(t *testing.T) {
+	const (
+		workers   = 4
+		perView   = 400
+		filePages = 64
+	)
+	b := NewBimap()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w * 10_000)
+			hi := base + perView
+			for i := 0; i < perView; i++ {
+				vpn := base + uint64(i)
+				fp := int64(i % filePages)
+				b.Add(vpn, fp)
+				// Several of this worker's pages may map fp; MappedIn
+				// must report one of them, inside the worker's range.
+				got, ok := b.MappedIn(fp, base, hi)
+				if !ok || got < base || got >= hi {
+					t.Errorf("worker %d: MappedIn(%d) = %d,%v after Add(%d)", w, fp, got, ok, vpn)
+					return
+				}
+				if mapped, ok := b.FilePage(got); !ok || mapped != fp {
+					t.Errorf("worker %d: MappedIn(%d) returned vpn %d mapping %d,%v", w, fp, got, mapped, ok)
+					return
+				}
+			}
+			// Rewire a third, remove a third.
+			for i := 0; i < perView; i += 3 {
+				b.Add(base+uint64(i), int64((i+1)%filePages))
+			}
+			for i := 1; i < perView; i += 3 {
+				if !b.Remove(base + uint64(i)) {
+					t.Errorf("worker %d: Remove(%d) failed", w, base+uint64(i))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Sequential consistency check against a per-worker reference.
+	want := 0
+	for w := 0; w < workers; w++ {
+		base := uint64(w * 10_000)
+		for i := 0; i < perView; i++ {
+			vpn := base + uint64(i)
+			switch {
+			case i%3 == 1: // removed
+				if _, ok := b.FilePage(vpn); ok {
+					t.Fatalf("removed vpn %d still mapped", vpn)
+				}
+			case i%3 == 0: // rewired
+				want++
+				if fp, ok := b.FilePage(vpn); !ok || fp != int64((i+1)%filePages) {
+					t.Fatalf("rewired vpn %d -> %d,%v", vpn, fp, ok)
+				}
+			default:
+				want++
+				if fp, ok := b.FilePage(vpn); !ok || fp != int64(i%filePages) {
+					t.Fatalf("vpn %d -> %d,%v", vpn, fp, ok)
+				}
+			}
+		}
+	}
+	if b.Len() != want {
+		t.Fatalf("Len = %d, want %d", b.Len(), want)
+	}
+	// Reverse direction agrees with forward.
+	seen := 0
+	for fp := int64(0); fp < filePages; fp++ {
+		for _, vpn := range b.VirtualPages(fp) {
+			if got, ok := b.FilePage(vpn); !ok || got != fp {
+				t.Fatalf("reverse entry %d -> %d disagrees with forward (%d,%v)", fp, vpn, got, ok)
+			}
+			seen++
+		}
+	}
+	if seen != want {
+		t.Fatalf("reverse lists hold %d entries, want %d", seen, want)
 	}
 }

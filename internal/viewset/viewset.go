@@ -31,8 +31,14 @@ import (
 type Decision int
 
 const (
+	// DecisionNone is the zero value: no candidate was considered at all.
+	// Queries that never build a candidate (non-adaptive engines, frozen
+	// sets, closed engines) report DecisionNone, so telemetry that
+	// forgets to check QueryResult.CandidateBuilt reads "none" instead of
+	// a phantom "inserted".
+	DecisionNone Decision = iota
 	// Inserted: the candidate became a new partial view.
-	Inserted Decision = iota
+	Inserted
 	// Replaced: the candidate replaced an existing partial view whose
 	// range it covers at similar cost (Listing 1 lines 28–31).
 	Replaced
@@ -59,6 +65,8 @@ const (
 // String renders the decision for logs and reports.
 func (d Decision) String() string {
 	switch d {
+	case DecisionNone:
+		return "none"
 	case Inserted:
 		return "inserted"
 	case Replaced:

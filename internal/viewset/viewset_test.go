@@ -313,12 +313,30 @@ func TestCoveredInterval(t *testing.T) {
 }
 
 func TestDecisionString(t *testing.T) {
-	for _, d := range []Decision{Inserted, Replaced, DiscardedNotSmaller, DiscardedSubset, DiscardedLimit} {
+	for _, d := range []Decision{DecisionNone, Inserted, Replaced, DiscardedNotSmaller,
+		DiscardedSubset, DiscardedLimit, DiscardedStale, Evicted} {
 		if d.String() == "" {
 			t.Fatalf("empty string for %d", int(d))
 		}
 	}
 	if Decision(99).String() != "Decision(99)" {
 		t.Fatal("unknown decision string")
+	}
+}
+
+// TestDecisionZeroValue pins the DecisionNone sentinel: the zero value
+// of Decision must read as "none", never as a retention outcome — a
+// QueryResult whose query built no candidate would otherwise report
+// "inserted" to any caller that forgets to check CandidateBuilt.
+func TestDecisionZeroValue(t *testing.T) {
+	var d Decision
+	if d != DecisionNone {
+		t.Fatalf("zero Decision = %v, want DecisionNone", d)
+	}
+	if d.String() != "none" {
+		t.Fatalf("zero Decision string = %q, want %q", d.String(), "none")
+	}
+	if DecisionNone == Inserted {
+		t.Fatal("DecisionNone aliases Inserted")
 	}
 }

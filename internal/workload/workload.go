@@ -98,6 +98,29 @@ type PointUpdate struct {
 	Value uint64
 }
 
+// ConcurrentUpdaters generates the mixed read/write throughput workload:
+// one deterministic update stream per writer, all derived from a single
+// seed. Writer i's stream depends only on (seed, i, n, rows, valLo,
+// valHi) — never on how many goroutines consume the streams or in which
+// order they run — so a concurrent benchmark applies exactly the same
+// writes as its serial re-check. Each stream draws n uniform row
+// positions with uniform new values in [valLo, valHi] (the §3.1/§3.4
+// update shape, per writer).
+func ConcurrentUpdaters(seed uint64, writers, n, rows int, valLo, valHi uint64) [][]PointUpdate {
+	if writers <= 0 {
+		panic("workload: bad writer count")
+	}
+	out := make([][]PointUpdate, writers)
+	for i := range out {
+		// Decorrelate the per-writer seeds with one splitmix64 step, like
+		// ConcurrentClients: incrementally related xrand seeds would start
+		// from correlated streams.
+		s := seed + uint64(i)*0x9e3779b97f4a7c15
+		out[i] = UniformUpdates(xrand.Splitmix64(&s), n, rows, valLo, valHi)
+	}
+	return out
+}
+
 // UniformUpdates draws n updates at uniformly selected rows with uniform
 // new values in [valLo, valHi] — the update streams of §3.1 ("we also
 // update 10,000 uniformly selected entries") and §3.4.

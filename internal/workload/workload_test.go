@@ -183,3 +183,65 @@ func TestConcurrentClientsPanicsOnBadParameters(t *testing.T) {
 		}()
 	}
 }
+
+func TestConcurrentUpdatersDeterministic(t *testing.T) {
+	const (
+		writers = 4
+		n       = 30
+		rows    = 10_000
+		valHi   = uint64(1_000_000)
+	)
+	a := ConcurrentUpdaters(7, writers, n, rows, 0, valHi)
+	b := ConcurrentUpdaters(7, writers, n, rows, 0, valHi)
+	if len(a) != writers {
+		t.Fatalf("writers = %d", len(a))
+	}
+	for w := range a {
+		if len(a[w]) != n {
+			t.Fatalf("writer %d: %d updates", w, len(a[w]))
+		}
+		for i := range a[w] {
+			if a[w][i] != b[w][i] {
+				t.Fatalf("writer %d update %d: %+v != %+v — streams not deterministic",
+					w, i, a[w][i], b[w][i])
+			}
+			if a[w][i].Row < 0 || a[w][i].Row >= rows || a[w][i].Value > valHi {
+				t.Fatalf("writer %d update %d out of bounds: %+v", w, i, a[w][i])
+			}
+		}
+	}
+	// Distinct writers must fire distinct streams (decorrelated seeds).
+	same := 0
+	for i := range a[0] {
+		if a[0][i] == a[1][i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("writer 0 and writer 1 streams are identical")
+	}
+	// Writer i's stream must not depend on how many writers exist.
+	two := ConcurrentUpdaters(7, 2, n, rows, 0, valHi)
+	for i := range two[1] {
+		if two[1][i] != a[1][i] {
+			t.Fatalf("writer 1 stream changed with writer count at %d", i)
+		}
+	}
+}
+
+func TestConcurrentUpdatersPanicsOnBadParameters(t *testing.T) {
+	for i, f := range []func(){
+		func() { ConcurrentUpdaters(1, 0, 10, 100, 0, 50) },
+		func() { ConcurrentUpdaters(1, -2, 10, 100, 0, 50) },
+		func() { ConcurrentUpdaters(1, 2, 10, 0, 0, 50) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
