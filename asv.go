@@ -26,6 +26,7 @@ package asv
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/asv-db/asv/internal/core"
 	"github.com/asv-db/asv/internal/dist"
@@ -88,13 +89,17 @@ type Options struct {
 // DB owns a simulated kernel and one address space in which all columns,
 // tables and their views live.
 //
-// Catalog operations (CreateColumn, CreateTable, LoadColumn, Close) are
-// not synchronized — create your schema up front from one goroutine.
-// Once created, each Column is fully safe for concurrent use, including
-// across columns sharing this DB's kernel.
+// A DB is safe for concurrent use, including its catalog: CreateColumn,
+// CreateTable, LoadColumn, Column, Table and Close serialize on an
+// internal mutex, so schemas may grow online from any number of
+// goroutines. Each created Column is itself fully safe for concurrent
+// use, including across columns sharing this DB's kernel.
 type DB struct {
-	kernel  *vmsim.Kernel
-	space   *vmsim.AddressSpace
+	kernel *vmsim.Kernel
+	space  *vmsim.AddressSpace
+
+	// mu guards the catalog maps; column/table data paths never take it.
+	mu      sync.Mutex
 	columns map[string]*Column
 	tables  map[string]*Table
 }
@@ -118,8 +123,12 @@ func Open(opts Options) (*DB, error) {
 
 // CreateColumn materializes a column of numPages pages (numPages ×
 // ValuesPerPage rows, zero-initialized) and wraps it in an adaptive
-// storage layer.
+// storage layer. Safe for concurrent callers; the catalog mutex is held
+// across the materialization so a duplicate name can never slip in
+// between check and insert.
 func (db *DB) CreateColumn(name string, numPages int, cfg Config) (*Column, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, dup := db.columns[name]; dup {
 		return nil, fmt.Errorf("asv: column %q already exists", name)
 	}
@@ -139,6 +148,8 @@ func (db *DB) CreateColumn(name string, numPages int, cfg Config) (*Column, erro
 
 // Column returns a previously created column.
 func (db *DB) Column(name string) (*Column, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	c, ok := db.columns[name]
 	return c, ok
 }
@@ -151,6 +162,8 @@ func (db *DB) MemoryInUse() int {
 
 // Close releases every column and table.
 func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	var firstErr error
 	for name, c := range db.columns {
 		if err := c.Close(); err != nil && firstErr == nil {
@@ -296,6 +309,11 @@ func (c *Column) QueryParallel(lo, hi uint64) (Result, error) {
 // parallel: the write path is sharded by physical page (see
 // Config.UpdateShards), so writers only serialize against queries — and
 // against each other when they touch the same page group.
+//
+// On a column opened with WithAutopilot, Update is fire-and-forget: it
+// queues the write and returns immediately; the autopilot applies and
+// aligns it within the configured MaxFlushLatency. Use Sync when you
+// need a read-your-writes barrier.
 func (c *Column) Update(row int, value uint64) error { return c.eng.Update(row, value) }
 
 // RowWrite is one row overwrite of an UpdateBatch call.

@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/asv-db/asv/internal/autopilot"
 	"github.com/asv-db/asv/internal/core"
 	"github.com/asv-db/asv/internal/dist"
 	"github.com/asv-db/asv/internal/explicit"
@@ -528,6 +529,47 @@ func BenchmarkConcurrentUpdaters(b *testing.B) {
 				b.ReportMetric(float64(writers*group), "updates/op")
 			})
 		}
+	}
+}
+
+// BenchmarkAutopilotEnqueue: the fire-and-forget write path — validate,
+// hash to an intake shard, append — which is everything a caller pays
+// with an autopilot; apply + alignment happen on the pilot. The final
+// Sync keeps the work honest (all writes applied and aligned before the
+// benchmark reports).
+func BenchmarkAutopilotEnqueue(b *testing.B) {
+	for _, writers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("writers%d", writers), func(b *testing.B) {
+			col := benchColumn(b, benchPages, dist.NewSine(42, 0, benchDomain, 100))
+			cfg := core.DefaultConfig()
+			cfg.Autopilot = &autopilot.Config{}
+			eng, err := core.NewEngine(col, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			streams := workload.ConcurrentUpdaters(42, writers, 4096, col.Rows(), 0, benchDomain)
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for w := 0; w < writers; w++ {
+					wg.Add(1)
+					go func(stream []workload.PointUpdate, i int) {
+						defer wg.Done()
+						u := stream[i%len(stream)]
+						if err := eng.Update(u.Row, u.Value); err != nil {
+							b.Error(err)
+						}
+					}(streams[w], i)
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			if _, err := eng.Sync(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(writers), "updates/op")
+		})
 	}
 }
 

@@ -13,8 +13,10 @@
 // shifted scenario distributions beyond the paper), fig5a, fig5b, fig6a,
 // fig6b, fig7a, fig7b, table1, concurrent (multi-client throughput,
 // beyond the paper), updates (mixed read/write throughput over the
-// sharded update write path, beyond the paper), all. The default scale
-// is 1/16 of the paper's
+// sharded update write path, beyond the paper), autopilot (bounded-
+// latency engine-side write coalescing, beyond the paper), all. An
+// unknown -experiment name fails with the list of valid names. The
+// default scale is 1/16 of the paper's
 // (65,536 pages ≈ 256 MiB per column); -pages 1048576 reproduces the
 // paper's full size if you have the memory and patience. -json emits one
 // JSON object per panel — the diffable shape CI archives as an artifact.
@@ -106,6 +108,9 @@ var experiments = []experiment{
 	}},
 	{"updates", "mixed read/write throughput: sharded buffers vs single pending buffer (beyond the paper)", func(s harness.Scale) ([]*harness.Table, error) {
 		return one(harness.RunUpdates(s))
+	}},
+	{"autopilot", "autopilot write coalescing: lone vs auto vs batched writes, p50/p99 flush latency (beyond the paper)", func(s harness.Scale) ([]*harness.Table, error) {
+		return one(harness.RunAutopilot(s))
 	}},
 }
 

@@ -32,6 +32,44 @@ func TestSelectExperiments(t *testing.T) {
 	}
 }
 
+// TestUnknownExperimentListsNames pins the CLI contract: a typo'd
+// -experiment must fail with a message naming the rejected input and
+// listing every valid experiment id (plus "all"), never silently running
+// nothing or defaulting.
+func TestUnknownExperimentListsNames(t *testing.T) {
+	_, err := selectExperiments("fig99")
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"fig99"`) {
+		t.Fatalf("error does not name the rejected input: %q", msg)
+	}
+	for _, e := range experiments {
+		if !strings.Contains(msg, e.id) {
+			t.Fatalf("error does not list experiment %q: %q", e.id, msg)
+		}
+	}
+	if !strings.Contains(msg, "all") {
+		t.Fatalf("error does not mention the 'all' pseudo-experiment: %q", msg)
+	}
+	// The new panel is registered and listed like the rest.
+	found := false
+	for _, e := range experiments {
+		if e.id == "autopilot" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("autopilot experiment not registered")
+	}
+	// A trailing comma produces an empty name, which is rejected too —
+	// never a silent no-op run.
+	if _, err := selectExperiments("fig3,"); err == nil {
+		t.Fatal("trailing-comma experiment list accepted")
+	}
+}
+
 func TestExperimentIDsUnique(t *testing.T) {
 	seen := map[string]bool{}
 	for _, e := range experiments {

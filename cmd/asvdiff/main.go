@@ -9,12 +9,15 @@
 //
 // Both inputs hold one or more JSON panel objects (the asvbench -json
 // shape: id, title, header, rows). Panels are matched by id and rows by
-// their key cells (every column that is not a rate column). Rate columns
+// their key cells (every column that is not a measurement). Rate columns
 // — headers ending in _qps, _upds or _pps, all higher-is-better — are
 // compared cell-wise: a drop of more than -max-regress percent against
-// the old value is a regression and exits 1. Panels or rows present only
-// on one side are reported and skipped, so adding a panel or sweeping
-// new cells never fails the gate.
+// the old value is a regression and exits 1. Gated latency columns —
+// headers ending in _p99_ms, lower-is-better — apply the same rule with
+// the sign flipped: a rise beyond the threshold fails. Other _ms, _pct
+// and _avg columns are informational. Panels or rows present only on one
+// side are reported and skipped, so adding a panel or sweeping new cells
+// never fails the gate.
 package main
 
 import (
@@ -47,11 +50,29 @@ func isRateColumn(name string) bool {
 	return false
 }
 
+// latencySuffixes mark gated lower-is-better columns: the autopilot
+// panel's tail flush latency. A rise beyond -max-regress percent is a
+// regression, mirroring the throughput rule with the sign flipped.
+// Plain informational durations keep the bare `_ms` suffix (p50 stays
+// ungated: medians under coalescing legitimately swing with batch
+// shape; the latency *bound* is a tail property).
+var latencySuffixes = []string{"_p99_ms"}
+
+func isLatencyColumn(name string) bool {
+	for _, s := range latencySuffixes {
+		if strings.HasSuffix(name, s) {
+			return true
+		}
+	}
+	return false
+}
+
 // measurementSuffixes mark columns that are measured outputs rather than
 // sweep coordinates; they never take part in row keys (a jittery
 // measurement in the key would make every row look new and mute the
-// gate). Rates are compared; the rest are informational.
-var measurementSuffixes = []string{"_pct", "_ms"}
+// gate). Rates and gated latencies are compared; the rest are
+// informational.
+var measurementSuffixes = []string{"_pct", "_ms", "_avg"}
 
 func isMeasurementColumn(name string) bool {
 	if isRateColumn(name) {
@@ -131,7 +152,8 @@ func comparePanels(old, new []panel, maxRegress float64) (findings []finding, re
 				continue
 			}
 			for i, h := range np.Header {
-				if !isRateColumn(h) || i >= len(nr) {
+				rate, latency := isRateColumn(h), isLatencyColumn(h)
+				if (!rate && !latency) || i >= len(nr) {
 					continue
 				}
 				oi, ok := oldCol[h]
@@ -145,7 +167,11 @@ func comparePanels(old, new []panel, maxRegress float64) (findings []finding, re
 				}
 				deltaPct := (newV/oldV - 1) * 100
 				line := fmt.Sprintf("%s [%s] %s: %.2f -> %.2f (%+.1f%%)", np.ID, key, h, oldV, newV, deltaPct)
+				// Throughput regresses downward, latency upward.
 				bad := deltaPct < -maxRegress
+				if latency {
+					bad = deltaPct > maxRegress
+				}
 				if bad {
 					line += "  REGRESSION"
 					regressed = true

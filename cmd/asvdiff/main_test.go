@@ -153,3 +153,57 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal("malformed input accepted")
 	}
 }
+
+func TestLatencyColumnGatedInverted(t *testing.T) {
+	header := []string{"lat_budget_us", "writers", "readers", "auto_upds",
+		"coalesce_avg", "flush_p50_ms", "flush_p99_ms", "reader_qps"}
+	oldRow := []string{"5000", "4", "2", "40000.00", "200.00", "2.100", "5.000", "800.00"}
+	old := []panel{mkPanel("autopilot", header, oldRow)}
+
+	// p99 rising 40% is a regression; every other cell is unchanged.
+	worse := []panel{mkPanel("autopilot", header,
+		[]string{"5000", "4", "2", "40000.00", "180.00", "2.100", "7.000", "800.00"})}
+	findings, regressed := comparePanels(old, worse, 15)
+	if !regressed {
+		t.Fatalf("p99 latency rise not flagged: %v", findings)
+	}
+	var bad []string
+	for _, f := range findings {
+		if f.regression {
+			bad = append(bad, f.line)
+		}
+	}
+	if len(bad) != 1 || !strings.Contains(bad[0], "flush_p99_ms") {
+		t.Fatalf("regressions: %v", bad)
+	}
+
+	// p99 falling 40% is an improvement, never a regression — the sign
+	// is inverted relative to throughput columns.
+	better := []panel{mkPanel("autopilot", header,
+		[]string{"5000", "4", "2", "40000.00", "300.00", "1.000", "3.000", "900.00"})}
+	if _, regressed := comparePanels(old, better, 15); regressed {
+		t.Fatal("latency improvement flagged as regression")
+	}
+
+	// coalesce_avg and flush_p50_ms are informational: wild swings alone
+	// neither gate nor break row matching.
+	jitter := []panel{mkPanel("autopilot", header,
+		[]string{"5000", "4", "2", "40000.00", "9.00", "0.100", "5.100", "800.00"})}
+	findings, regressed = comparePanels(old, jitter, 15)
+	if regressed {
+		t.Fatalf("informational columns gated: %v", findings)
+	}
+	for _, f := range findings {
+		if strings.Contains(f.line, "new cell") {
+			t.Fatalf("measurement columns leaked into the row key: %v", findings)
+		}
+	}
+	// The sweep coordinate does key rows: a different latency bound is a
+	// new cell, not a comparison.
+	otherLat := []panel{mkPanel("autopilot", header,
+		[]string{"1000", "4", "2", "10.00", "1.00", "9.000", "9.000", "10.00"})}
+	findings, regressed = comparePanels(old, otherLat, 15)
+	if regressed {
+		t.Fatalf("new sweep coordinate failed the gate: %v", findings)
+	}
+}

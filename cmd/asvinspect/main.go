@@ -6,6 +6,7 @@
 // Usage:
 //
 //	asvinspect [-pages 2048] [-queries 40] [-dist sine] [-mode single|multi] [-scanworkers -1]
+//	asvinspect -autopilot            # fire-and-forget updates + lifecycle telemetry
 package main
 
 import (
@@ -15,11 +16,13 @@ import (
 	"strings"
 	"time"
 
+	"github.com/asv-db/asv/internal/autopilot"
 	"github.com/asv-db/asv/internal/core"
 	"github.com/asv-db/asv/internal/dist"
 	"github.com/asv-db/asv/internal/storage"
 	"github.com/asv-db/asv/internal/vmsim"
 	"github.com/asv-db/asv/internal/workload"
+	"github.com/asv-db/asv/internal/xrand"
 )
 
 func main() {
@@ -32,16 +35,17 @@ func main() {
 		showMaps = flag.Bool("maps", true, "print the rendered maps file")
 		parallel = flag.Bool("parallel", true, "fill the column with page-sharded workers")
 		scanWork = flag.Int("scanworkers", 0, "page-sharded scan workers per query (0 = serial, <0 = GOMAXPROCS)")
+		autoPlt  = flag.Bool("autopilot", false, "enable the background maintenance subsystem: interleave fire-and-forget updates with the queries and dump coalescing/lifecycle telemetry")
 	)
 	flag.Parse()
 
-	if err := run(*pages, *queries, *distName, *mode, *seed, *showMaps, *parallel, *scanWork); err != nil {
+	if err := run(*pages, *queries, *distName, *mode, *seed, *showMaps, *parallel, *scanWork, *autoPlt); err != nil {
 		fmt.Fprintln(os.Stderr, "asvinspect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(pages, queries int, distName, mode string, seed uint64, showMaps, parallel bool, scanWorkers int) error {
+func run(pages, queries int, distName, mode string, seed uint64, showMaps, parallel bool, scanWorkers int, autoPilot bool) error {
 	const domain = 100_000_000
 
 	kern := vmsim.NewKernel(0)
@@ -73,6 +77,9 @@ func run(pages, queries int, distName, mode string, seed uint64, showMaps, paral
 	} else if mode != "single" {
 		return fmt.Errorf("unknown mode %q", mode)
 	}
+	if autoPilot {
+		cfg.Autopilot = &autopilot.Config{}
+	}
 	eng, err := core.NewEngine(col, cfg)
 	if err != nil {
 		return err
@@ -93,7 +100,17 @@ func run(pages, queries int, distName, mode string, seed uint64, showMaps, paral
 		col.NumPages(), col.Rows(), distName, domain, fill, fillDur.Round(time.Microsecond), scan)
 
 	qs := workload.SelectivitySweep(seed, queries, domain, domain/2, domain/1000)
+	rng := xrand.New(seed + 99)
 	for i, q := range qs {
+		if autoPilot {
+			// Interleave fire-and-forget updates: the autopilot applies
+			// and aligns them in the background while we keep querying.
+			for u := 0; u < 16; u++ {
+				if err := eng.Update(rng.Intn(col.Rows()), rng.Uint64n(domain)); err != nil {
+					return err
+				}
+			}
+		}
 		res, err := eng.Query(q.Lo, q.Hi)
 		if err != nil {
 			return err
@@ -110,10 +127,38 @@ func run(pages, queries int, distName, mode string, seed uint64, showMaps, paral
 			i, q.Lo, q.Hi, res.Count, res.PagesScanned, verdict, decision)
 	}
 
+	if autoPilot {
+		if _, err := eng.Sync(); err != nil {
+			return err
+		}
+	}
+
 	fmt.Printf("\n=== view set (%d partial views, frozen=%v) ===\n",
 		eng.ViewSet().Len(), eng.ViewSet().Frozen())
+	clock := eng.ViewSet().Clock()
 	for i, v := range eng.Views() {
 		fmt.Printf("  view %2d: [%12d, %12d]  %6d pages\n", i, v.Lo(), v.Hi(), v.NumPages())
+	}
+	if autoPilot {
+		fmt.Printf("\n=== autopilot ===\n")
+		p := eng.Autopilot()
+		m := p.Metrics()
+		fmt.Printf("  writes: %d enqueued, %d applied in %d coalesced flushes (avg %.1f/flush)\n",
+			m.Enqueued, m.Applied, m.Flushes, m.AvgCoalesce())
+		fmt.Printf("  flush triggers: %d count, %d bytes, %d deadline, %d backpressure, %d sync\n",
+			m.CountFlushes, m.ByteFlushes, m.DeadlineFlushes, m.BackpressureFlushes, m.SyncFlushes)
+		lats := p.FlushLatencies()
+		fmt.Printf("  flush latency: p50 %s, p99 %s (%d samples)\n",
+			autopilot.Percentile(lats, 0.50).Round(time.Microsecond),
+			autopilot.Percentile(lats, 0.99).Round(time.Microsecond), len(lats))
+		fmt.Printf("  lifecycle: %d ticks, %d cold views evicted, %d rebuilt, %d TLB pages warmed\n",
+			m.MaintenanceTicks, m.ViewsEvicted, m.ViewsRebuilt, m.TLBPagesWarmed)
+		fmt.Printf("  cost model: %.0f ns/page scans, %.1f ns/unit alignment\n",
+			p.Model().ScanNsPerPage(), p.Model().AlignNsPerUnit())
+		fmt.Printf("  view temperatures (LRU clock %d):\n", clock)
+		for i, tp := range eng.ViewSet().Temperatures() {
+			fmt.Printf("    view %2d: last used tick %d, %d hits\n", i, tp.LastUsed, tp.Uses)
+		}
 	}
 
 	st := as.Stats()

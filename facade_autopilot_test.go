@@ -1,0 +1,89 @@
+package asv
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAutopilotFacade drives the autopilot through the public surface:
+// fire-and-forget updates, the Sync barrier, metrics and flush-latency
+// percentiles.
+func TestAutopilotFacade(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	plain, err := db.CreateColumn("plain", 64, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plain.AutopilotMetrics(); ok {
+		t.Fatal("plain column reports an autopilot")
+	}
+	if plain.AutopilotFlushLatencies() != nil || plain.QueuedUpdates() != 0 {
+		t.Fatal("plain column leaks autopilot state")
+	}
+
+	col, err := db.CreateColumn("auto", 64, WithAutopilot(DefaultConfig(), AutopilotConfig{
+		CoalesceCount:    1 << 30,
+		MaxFlushLatency:  time.Hour,
+		MaintainInterval: -1,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.FillParallel(Sine(1, 0, 1_000_000, 8)); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []*Column{plain, col} {
+		if err := c.CreateView(0, 250_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := plain.Fill(Sine(1, 0, 1_000_000, 8)); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 100; i++ {
+		if err := col.Update(i*17, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := plain.Update(i*17, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := col.QueuedUpdates(); got != 100 {
+		t.Fatalf("queued %d, want 100", got)
+	}
+	if err := col.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	ra, err := col.Query(0, 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := plain.Query(0, 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Count != rp.Count || ra.Sum != rp.Sum {
+		t.Fatalf("autopilot answers (%d,%d) != plain (%d,%d)", ra.Count, ra.Sum, rp.Count, rp.Sum)
+	}
+
+	m, ok := col.AutopilotMetrics()
+	if !ok || m.Enqueued != 100 || m.Applied != 100 || m.Flushes == 0 {
+		t.Fatalf("metrics %+v ok=%v", m, ok)
+	}
+	lats := col.AutopilotFlushLatencies()
+	if len(lats) == 0 {
+		t.Fatal("no flush latency samples")
+	}
+	if p99 := AutopilotPercentile(lats, 0.99); p99 < 0 {
+		t.Fatalf("p99 %s", p99)
+	}
+}

@@ -83,8 +83,11 @@ func (db *DB) LoadColumn(name, path string, cfg Config) (*Column, error) {
 	return db.ReadColumn(name, f, cfg)
 }
 
-// ReadColumn is LoadColumn over an arbitrary reader.
+// ReadColumn is LoadColumn over an arbitrary reader. Safe for concurrent
+// callers, like the rest of the catalog.
 func (db *DB) ReadColumn(name string, r io.Reader, cfg Config) (*Column, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, dup := db.columns[name]; dup {
 		return nil, fmt.Errorf("asv: column %q already exists", name)
 	}
@@ -139,7 +142,10 @@ type Table struct {
 }
 
 // CreateTable creates a table whose columns each span numPages pages.
+// Safe for concurrent callers, like the rest of the catalog.
 func (db *DB) CreateTable(name string, numPages int, columns []string, cfg Config) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, dup := db.tables[name]; dup {
 		return nil, fmt.Errorf("asv: table %q already exists", name)
 	}
@@ -154,6 +160,8 @@ func (db *DB) CreateTable(name string, numPages int, columns []string, cfg Confi
 
 // Table returns a previously created table.
 func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	t, ok := db.tables[name]
 	return t, ok
 }
@@ -214,6 +222,8 @@ func (t *Table) ColumnViews(column string) ([]ViewInfo, error) {
 
 // Close releases the table's columns and views.
 func (t *Table) Close() error {
+	t.db.mu.Lock()
 	delete(t.db.tables, t.tbl.Name())
+	t.db.mu.Unlock()
 	return t.tbl.Close()
 }

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/asv-db/asv/internal/autopilot"
 	"github.com/asv-db/asv/internal/view"
 	"github.com/asv-db/asv/internal/viewset"
 )
@@ -128,6 +129,16 @@ type Config struct {
 	// Adaptive enables partial-view creation and routing. When false the
 	// engine answers every query with a full scan — the paper's baseline.
 	Adaptive bool
+	// Autopilot, when non-nil, starts the engine's background maintenance
+	// subsystem (internal/autopilot): bounded-latency write coalescing
+	// (Update becomes fire-and-forget and is applied + aligned within
+	// Autopilot.MaxFlushLatency), adaptive parallelism (scan and
+	// alignment fan-out chosen per operation by an EWMA cost model,
+	// bounded by Parallelism), and a temperature-driven view lifecycle
+	// (cold partials evicted, fragmented ones rebuilt, hot soft-TLBs
+	// pre-warmed in exclusive-room slices). Engine.Close stops it. Nil
+	// keeps every maintenance action inline, the pre-autopilot behaviour.
+	Autopilot *autopilot.Config
 }
 
 // DefaultConfig returns the paper's configuration: single-view mode, up to
@@ -165,6 +176,11 @@ func (c Config) validate() error {
 	}
 	if c.Limit != Freeze && c.Limit != EvictLRU {
 		return fmt.Errorf("core: unknown limit policy %d", int(c.Limit))
+	}
+	if c.Autopilot != nil {
+		if err := c.Autopilot.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/asv-db/asv/internal/autopilot"
 	"github.com/asv-db/asv/internal/bitvec"
 	"github.com/asv-db/asv/internal/storage"
 	"github.com/asv-db/asv/internal/view"
@@ -72,6 +73,14 @@ type Engine struct {
 	// each query takes a private one, so concurrent scans never share.
 	procPool sync.Pool
 
+	// pilot is the background maintenance subsystem (Config.Autopilot);
+	// nil when disabled. model is its adaptive-parallelism cost model,
+	// consulted on the scan and alignment paths (nil means static
+	// fan-out). Both are set once in NewEngine and never mutated, so
+	// nil-checks need no lock.
+	pilot *autopilot.Pilot
+	model *autopilot.CostModel
+
 	stats engineStats
 }
 
@@ -88,6 +97,8 @@ type Stats struct {
 	UpdateBatches   uint64 // FlushUpdates / AlignViews invocations
 	PagesAdded      uint64 // view pages added by update alignment
 	PagesRemoved    uint64 // view pages removed by update alignment
+	ViewsExpired    uint64 // cold views evicted by the autopilot lifecycle
+	ViewsRebuilt    uint64 // fragmented views rebuilt by the autopilot lifecycle
 }
 
 // engineStats is the lock-free internal counterpart of Stats: counters
@@ -104,6 +115,8 @@ type engineStats struct {
 	updateBatches   atomic.Uint64
 	pagesAdded      atomic.Uint64
 	pagesRemoved    atomic.Uint64
+	viewsExpired    atomic.Uint64
+	viewsRebuilt    atomic.Uint64
 }
 
 func (s *engineStats) snapshot() Stats {
@@ -119,6 +132,8 @@ func (s *engineStats) snapshot() Stats {
 		UpdateBatches:   s.updateBatches.Load(),
 		PagesAdded:      s.pagesAdded.Load(),
 		PagesRemoved:    s.pagesRemoved.Load(),
+		ViewsExpired:    s.viewsExpired.Load(),
+		ViewsRebuilt:    s.viewsRebuilt.Load(),
 	}
 }
 
@@ -134,6 +149,8 @@ func (s *engineStats) reset() {
 	s.updateBatches.Store(0)
 	s.pagesAdded.Store(0)
 	s.pagesRemoved.Store(0)
+	s.viewsExpired.Store(0)
+	s.viewsRebuilt.Store(0)
 }
 
 // NewEngine wraps a filled column in an adaptive storage layer.
@@ -155,6 +172,17 @@ func NewEngine(col *storage.Column, cfg Config) (*Engine, error) {
 	}
 	if cfg.Adaptive && cfg.Create.Concurrent {
 		e.mapper = view.NewMapper(cfg.MapperQueueCap)
+	}
+	if cfg.Autopilot != nil {
+		p, err := autopilot.Start(pilotTarget{e}, *cfg.Autopilot, col.Rows())
+		if err != nil {
+			if e.mapper != nil {
+				e.mapper.Stop()
+			}
+			return nil, err
+		}
+		e.pilot = p
+		e.model = p.Model()
 	}
 	return e, nil
 }
@@ -292,10 +320,17 @@ func (e *Engine) RebuildViews() error {
 	return firstErr
 }
 
-// Close releases all partial views and stops the mapping thread. It waits
-// for in-flight queries to drain. The column itself stays usable (and
-// must be closed by its owner).
+// Close releases all partial views and stops the mapping thread and the
+// autopilot. It waits for in-flight queries to drain. The column itself
+// stays usable (and must be closed by its owner).
 func (e *Engine) Close() error {
+	if e.pilot != nil {
+		// Stop before taking the exclusive room: the pilot's final drain
+		// applies any queued writes (through the update room), so no
+		// accepted Update is lost; alignment is skipped, the views are
+		// about to be released anyway.
+		e.pilot.Stop()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.gen++

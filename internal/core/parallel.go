@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"github.com/asv-db/asv/internal/storage"
 )
@@ -9,6 +10,28 @@ import (
 // minParallelScanPages aliases the storage layer's sharding threshold so
 // both kernels agree on when a scan is too small to split.
 const minParallelScanPages = storage.MinParallelScanPages
+
+// scanPagesAdaptive wraps scanPages with the autopilot's adaptive
+// parallelism: when a cost model runs, the worker count is chosen per
+// operation from the routed page count (capped by the caller's static
+// knob, respecting minParallelScanPages) and the observed wall time is
+// fed back. Worker count never changes scan results — shards reduce in
+// page order — so adaptivity is invisible to answers and candidates.
+func (e *Engine) scanPagesAdaptive(n, workers int, lo, hi uint64,
+	fetch func(int) ([]byte, error),
+	emit func(pid uint64, pg []byte)) (qual, excl storage.PageScan, err error) {
+
+	if e.model == nil {
+		return scanPages(n, workers, lo, hi, fetch, emit)
+	}
+	w := e.model.ScanWorkers(n, workers, minParallelScanPages)
+	t0 := time.Now()
+	qual, excl, err = scanPages(n, w, lo, hi, fetch, emit)
+	if err == nil {
+		e.model.ObserveScan(n, w, time.Since(t0))
+	}
+	return qual, excl, err
+}
 
 // scanPages is the engine-side parallel scan kernel: it filters n pages
 // against [lo, hi] with `workers` page-sharded goroutines and reduces the

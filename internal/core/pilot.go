@@ -1,0 +1,185 @@
+package core
+
+import (
+	"github.com/asv-db/asv/internal/autopilot"
+	"github.com/asv-db/asv/internal/view"
+)
+
+// This file is the engine side of the autopilot subsystem: the Target
+// adapter the pilot drives, the per-view temperature/fragmentation
+// export, and the synchronous barriers (Sync) callers use to get
+// read-your-writes semantics on top of fire-and-forget updates.
+
+// Autopilot returns the engine's pilot (nil when Config.Autopilot is
+// unset) — metrics, flush latencies and the cost model hang off it.
+func (e *Engine) Autopilot() *autopilot.Pilot { return e.pilot }
+
+// QueuedUpdates returns the number of writes accepted by Update but not
+// yet applied to the column (always 0 without an autopilot; buffered
+// applied-but-unaligned updates are PendingUpdates).
+func (e *Engine) QueuedUpdates() int {
+	if e.pilot == nil {
+		return 0
+	}
+	return e.pilot.Queued()
+}
+
+// Sync is the engine's read-your-writes barrier: it applies every write
+// accepted so far (draining the autopilot intake, when one runs) and
+// aligns all partial views, returning the alignment stats. Without an
+// autopilot it is exactly FlushUpdates.
+func (e *Engine) Sync() (UpdateStats, error) {
+	return e.FlushUpdates()
+}
+
+// pilotTarget adapts the Engine to the autopilot.Target interface. Every
+// method takes the engine's room lock itself; the pilot never holds an
+// engine lock when calling in, so the drain mutex strictly precedes the
+// room lock in the lock order.
+type pilotTarget struct{ e *Engine }
+
+// ApplyWrites applies a coalesced group of writes in one update-room
+// entry — the engine-side group commit that turns lone fire-and-forget
+// Updates into a single room turn.
+func (t pilotTarget) ApplyWrites(ws []autopilot.Write) error {
+	e := t.e
+	e.mu.UpdateLock()
+	defer e.mu.UpdateUnlock()
+	for _, w := range ws {
+		if err := e.applyWrite(w.Row, w.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AlignPending runs §2.4 alignment over the applied-but-unaligned
+// updates in one exclusive-room slice.
+func (t pilotTarget) AlignPending() error {
+	_, err := t.e.flushApplied()
+	return err
+}
+
+// ViewTemperatures snapshots the LRU clock and every partial view's
+// recency, frequency, size and page-order fragmentation under the scan
+// room (temperature reads are concurrent-reader safe; fragmentation
+// walks the view's soft-TLB, a pure read).
+func (t pilotTarget) ViewTemperatures() (uint64, []autopilot.ViewTemp) {
+	e := t.e
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	clock := e.set.Clock()
+	temps := e.set.Temperatures()
+	out := make([]autopilot.ViewTemp, 0, len(temps))
+	for _, tp := range temps {
+		vt := autopilot.ViewTemp{
+			Handle:   tp.View,
+			LastUsed: tp.LastUsed,
+			Uses:     tp.Uses,
+			Pages:    tp.View.NumPages(),
+		}
+		if frag, err := viewFragmentation(tp.View); err == nil {
+			vt.Frag = frag
+		}
+		out = append(out, vt)
+	}
+	return clock, out
+}
+
+// viewFragmentation measures how far a view's mapped pages have drifted
+// from ascending physical order: the fraction of adjacent slot pairs that
+// step backwards. Freshly created views map qualifying pages in scan
+// order (ascending) and score 0; update alignment appends out-of-order
+// pages at the end and compaction moves tail pages into holes, so the
+// score grows with churn — and a rebuild resets it, restoring the long
+// consecutive runs the §2.3 mapping optimization (and hardware
+// prefetching) feeds on.
+func viewFragmentation(v *view.View) (float64, error) {
+	n := v.NumPages()
+	if n < 2 {
+		return 0, nil
+	}
+	ids, err := v.PageIDs()
+	if err != nil {
+		return 0, err
+	}
+	backward := 0
+	for i := 1; i < len(ids); i++ {
+		if ids[i] < ids[i-1] {
+			backward++
+		}
+	}
+	return float64(backward) / float64(n-1), nil
+}
+
+// EvictViews releases the given cold views in one exclusive-room slice.
+// Handles whose view left the set since the temperature snapshot (evicted
+// by LRU, replaced, rebuilt) are skipped — the pilot's view of the set is
+// advisory, membership is re-validated here.
+func (t pilotTarget) EvictViews(handles []any) (int, error) {
+	e := t.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return 0, nil
+	}
+	evicted := 0
+	var firstErr error
+	for _, h := range handles {
+		v, ok := h.(*view.View)
+		if !ok || !e.set.Remove(v) {
+			continue
+		}
+		if err := v.Release(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		e.stats.viewsExpired.Add(1)
+		evicted++
+	}
+	return evicted, firstErr
+}
+
+// RebuildView rebuilds one fragmented view from the column's current
+// contents in its own exclusive-room slice (create first, swap, then
+// release — a failed creation leaves the old view serving). The room
+// handover between slices lets readers and writers interleave with a
+// multi-view maintenance sweep.
+func (t pilotTarget) RebuildView(h any) (bool, error) {
+	e := t.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v, ok := h.(*view.View)
+	if !ok || e.closed || !e.set.Contains(v) {
+		return false, nil
+	}
+	lo, hi := v.Lo(), v.Hi()
+	nv, err := e.createView(lo, hi)
+	if err != nil {
+		return false, err
+	}
+	// Rebuilt views keep their declared range (Create may extend it).
+	nv.SetRange(lo, hi)
+	// In-flight candidates were routed over the old view's pages;
+	// invalidate them like RebuildViews does.
+	e.gen++
+	if !e.set.ReplaceExisting(v, nv) {
+		_ = nv.Release()
+		return false, nil
+	}
+	e.stats.viewsRebuilt.Add(1)
+	return true, e.releaseView(v)
+}
+
+// WarmView re-resolves one hot view's soft-TLB in an exclusive-room
+// slice (Warm writes view state), returning how many translations were
+// cold.
+func (t pilotTarget) WarmView(h any) (int, error) {
+	e := t.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v, ok := h.(*view.View)
+	if !ok || e.closed || !e.set.Contains(v) {
+		return 0, nil
+	}
+	return v.Warm()
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/asv-db/asv/internal/bitvec"
 	"github.com/asv-db/asv/internal/storage"
@@ -292,7 +293,7 @@ func (e *Engine) scanLocked(lo, hi uint64, collect func(uint64, []byte), workers
 			n = len(refs)
 			fetch = func(i int) ([]byte, error) { return refs[i], nil }
 		}
-		qual, excl, err := scanPages(n, workers, lo, hi, fetch, emit)
+		qual, excl, err := e.scanPagesAdaptive(n, workers, lo, hi, fetch, emit)
 		if err != nil {
 			if builder != nil {
 				_ = builder.Abort()
@@ -331,15 +332,26 @@ func (e *Engine) scanLocked(lo, hi uint64, collect func(uint64, []byte), workers
 func (e *Engine) fullScanCollect(lo, hi uint64, collect func(uint64, []byte), workers int) (QueryResult, error) {
 	res := QueryResult{ViewsUsed: 1, UsedFullView: true}
 	if collect == nil {
+		var t0 time.Time
+		if e.model != nil {
+			workers = e.model.ScanWorkers(e.col.NumPages(), workers, minParallelScanPages)
+			t0 = time.Now()
+		}
 		count, sum, err := e.col.FullScanParallel(lo, hi, workers)
 		if err != nil {
 			return res, err
+		}
+		if e.model != nil {
+			// Feed the observation back like scanPagesAdaptive: without
+			// it this path's model stays cold forever and the worker
+			// choice degenerates to the static knob.
+			e.model.ObserveScan(e.col.NumPages(), workers, time.Since(t0))
 		}
 		res.Count = count
 		res.Sum = sum
 	} else {
 		full := e.set.Full()
-		qual, _, err := scanPages(full.NumPages(), workers, lo, hi, full.PageBytes, collect)
+		qual, _, err := e.scanPagesAdaptive(full.NumPages(), workers, lo, hi, full.PageBytes, collect)
 		if err != nil {
 			return res, err
 		}

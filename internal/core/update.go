@@ -63,7 +63,17 @@ type RowWrite struct {
 // update room — concurrent writers proceed in parallel, serializing only
 // per pending-buffer shard (i.e. per group of physical pages) — while
 // the room lock keeps writes off pages a concurrent scan is reading.
+//
+// With an autopilot (Config.Autopilot), Update is fire-and-forget: the
+// write is validated and queued in the intake buffers without touching
+// the room lock, and the pilot applies and aligns it within
+// MaxFlushLatency (sooner when the coalesce thresholds fill) as part of
+// a group commit. Sync (or FlushUpdates) is the read-your-writes
+// barrier; Close drains the intake, so no accepted write is ever lost.
 func (e *Engine) Update(row int, newVal uint64) error {
+	if e.pilot != nil {
+		return e.pilot.Enqueue(row, newVal)
+	}
 	e.mu.UpdateLock()
 	defer e.mu.UpdateUnlock()
 	return e.applyWrite(row, newVal)
@@ -79,6 +89,16 @@ func (e *Engine) Update(row int, newVal uint64) error {
 func (e *Engine) UpdateBatch(ws []RowWrite) error {
 	if len(ws) == 0 {
 		return nil
+	}
+	if e.pilot != nil {
+		// Drain the fire-and-forget intake before the direct group
+		// commit: a queued older Update to the same row must land before
+		// this batch, or the pilot's later drain would silently undo the
+		// newer write ("semantically identical to calling Update for
+		// each element in order").
+		if err := e.pilot.ApplyQueued(); err != nil {
+			return err
+		}
 	}
 	e.mu.UpdateLock()
 	defer e.mu.UpdateUnlock()
@@ -154,7 +174,25 @@ func (e *Engine) resetPendingLocked() {
 
 // FlushUpdates aligns all partial views with the buffered update batch and
 // clears the buffers, holding the exclusive room for the whole alignment.
+// With an autopilot, the intake is drained (applied) first, so the flush
+// covers every write accepted before the call — the synchronous barrier
+// the paper's inline model gives implicitly.
 func (e *Engine) FlushUpdates() (UpdateStats, error) {
+	if e.pilot != nil {
+		// Apply without aligning: the alignment happens just below, and
+		// the pilot must not take the exclusive room itself while this
+		// caller is about to (drain mutex strictly precedes room lock).
+		if err := e.pilot.ApplyQueued(); err != nil {
+			return UpdateStats{}, err
+		}
+	}
+	return e.flushApplied()
+}
+
+// flushApplied aligns the applied-but-unaligned updates, without touching
+// the autopilot intake — the pilot's own alignment entry point (its drain
+// already applied the writes).
+func (e *Engine) flushApplied() (UpdateStats, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.flushLocked()
@@ -260,6 +298,12 @@ func (e *Engine) alignLocked(batch []Update) (UpdateStats, error) {
 // necessity: workers that already started cannot be unwound, so every
 // partial is merged — the stats reflect all rewiring that actually
 // happened — and the first error in view order is returned.
+//
+// With an autopilot, the fan-out is adaptive: the cost model picks the
+// worker count from the view and dirty-page counts (capped by the static
+// Parallelism knob) and is fed the observed wall time afterwards. Worker
+// count never changes the merged stats, so adaptivity cannot change
+// results.
 func (e *Engine) alignPartials(pages []int, byPage map[int][]Update,
 	bm *procmaps.Bimap, st *UpdateStats) error {
 
@@ -267,6 +311,12 @@ func (e *Engine) alignPartials(pages []int, byPage map[int][]Update,
 	workers := resolveWorkers(e.cfg.Parallelism)
 	if workers > len(parts) {
 		workers = len(parts)
+	}
+	if e.model != nil {
+		workers = e.model.AlignWorkers(len(parts), len(pages), workers)
+		defer func(t0 time.Time, w int) {
+			e.model.ObserveAlign(len(parts), len(pages), w, time.Since(t0))
+		}(time.Now(), workers)
 	}
 	if workers <= 1 {
 		for _, v := range parts {

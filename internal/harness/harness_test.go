@@ -338,3 +338,67 @@ func TestRunConcurrent(t *testing.T) {
 		}
 	}
 }
+
+func TestRunAutopilot(t *testing.T) {
+	s := tinyScale()
+	if raceEnabled {
+		// Same reasoning as TestRunUpdates: the panel sweeps real-time
+		// windows per cell; race-slowed alignment makes full streams
+		// dominate.
+		s.MixedUpdates = 200
+	}
+	tbl, err := RunAutopilot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "autopilot" {
+		t.Fatalf("id = %q", tbl.ID)
+	}
+	wantHeader := []string{"lat_budget_us", "writers", "readers",
+		"lone_upds", "auto_upds", "batch_upds",
+		"coalesce_avg", "flush_p50_ms", "flush_p99_ms", "reader_qps"}
+	if len(tbl.Header) != len(wantHeader) {
+		t.Fatalf("header %v", tbl.Header)
+	}
+	for i, h := range wantHeader {
+		if tbl.Header[i] != h {
+			t.Fatalf("header[%d] = %q, want %q", i, tbl.Header[i], h)
+		}
+	}
+	if len(tbl.Rows) != len(autopilotCells()) {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), len(autopilotCells()))
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(wantHeader) {
+			t.Fatalf("row %v: %d cells", row, len(row))
+		}
+		readers, err := strconv.Atoi(row[2])
+		if err != nil {
+			t.Fatalf("row %v: bad readers cell", row)
+		}
+		// All three write paths and the coalesce average must be
+		// positive: writers always run and the autopilot always flushes
+		// at least once (the final Sync).
+		for _, idx := range []int{3, 4, 5, 6} {
+			v, err := strconv.ParseFloat(row[idx], 64)
+			if err != nil || v <= 0 {
+				t.Fatalf("row %v: bad cell %q (col %d)", row, row[idx], idx)
+			}
+		}
+		p50, err1 := strconv.ParseFloat(row[7], 64)
+		p99, err2 := strconv.ParseFloat(row[8], 64)
+		if err1 != nil || err2 != nil || p50 < 0 || p99 < p50 {
+			t.Fatalf("row %v: latency cells p50=%q p99=%q", row, row[7], row[8])
+		}
+		qps, err := strconv.ParseFloat(row[9], 64)
+		if err != nil {
+			t.Fatalf("row %v: bad qps cell", row)
+		}
+		if readers > 0 && qps <= 0 {
+			t.Fatalf("row %v: readers present but no queries measured", row)
+		}
+		if readers == 0 && qps != 0 {
+			t.Fatalf("row %v: phantom reader throughput", row)
+		}
+	}
+}

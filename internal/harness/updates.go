@@ -114,13 +114,22 @@ func RunUpdates(s Scale) (*Table, error) {
 // a few narrow pre-created views, GOMAXPROCS scan/alignment parallelism,
 // and the given pending-buffer shard count (0 = GOMAXPROCS).
 func updatesEngine(s Scale, shards int) (*core.Engine, func(), error) {
+	return mixedEngine(s, func(cfg *core.Config) { cfg.UpdateShards = shards })
+}
+
+// mixedEngine builds the mixed read/write panels' standard engine — sine
+// column, narrow pre-created views, GOMAXPROCS parallelism — with a
+// config mutator for the cell's knob of interest.
+func mixedEngine(s Scale, mutate func(*core.Config)) (*core.Engine, func(), error) {
 	col, err := newFig4Column(s, "sine")
 	if err != nil {
 		return nil, nil, err
 	}
 	cfg := core.DefaultConfig()
 	cfg.Parallelism = -1
-	cfg.UpdateShards = shards
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	eng, err := core.NewEngine(col, cfg)
 	if err != nil {
 		_ = col.Close()

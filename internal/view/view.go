@@ -311,6 +311,40 @@ func (v *View) RemovePageAt(slot int) (RemovedPage, error) {
 	return res, nil
 }
 
+// Warm resolves every cold slot of the soft-TLB, returning how many
+// translations were actually re-resolved. Constructors warm the TLB up
+// front, so in steady state Warm finds nothing — it exists for the
+// autopilot's pre-warm duty, which repairs views whose lazy PageBytes
+// fallback left nil slots (e.g. after an out-of-band TLB drop) before a
+// hot view is scanned again. The caller must hold the engine's exclusive
+// room: Warm writes view state.
+func (v *View) Warm() (int, error) {
+	if v.tlb == nil {
+		v.tlb = make([][]byte, v.numPages)
+	}
+	for len(v.tlb) < v.numPages {
+		v.tlb = append(v.tlb, nil)
+	}
+	warmed := 0
+	for i := 0; i < v.numPages; i++ {
+		if v.tlb[i] != nil {
+			continue
+		}
+		pg, err := v.col.Space().PageData(vmsim.VPN(v.BaseVPN() + uint64(i)))
+		if err != nil {
+			return warmed, err
+		}
+		v.tlb[i] = pg
+		warmed++
+	}
+	return warmed, nil
+}
+
+// DropTLB discards the soft-TLB, forcing the lazy PageBytes fallback (or
+// a Warm call) to re-resolve translations. Intended for tests and for
+// tools that measure the simulator's software page-walk cost.
+func (v *View) DropTLB() { v.tlb = nil }
+
 // Release unmaps a partial view's entire virtual area. Releasing the full
 // view is a no-op (the column owns it).
 func (v *View) Release() error {

@@ -9,10 +9,11 @@
 // tolerance r.
 //
 // Concurrency contract: the read side — RouteSingle, RouteMulti, Full,
-// Partials, Len, Frozen, CoveredInterval — is safe for any number of
-// concurrent callers (the LRU clock is atomic, the recency map has its
-// own lock, and the partial-view slice is copy-on-write, so routing only
-// ever reads immutable snapshots). The write side — Consider, Insert,
+// Partials, Len, Frozen, CoveredInterval, Clock, Temperatures — is safe
+// for any number of concurrent callers (the LRU clock is atomic, the
+// usage map has its own lock, and the partial-view slice is
+// copy-on-write, so routing only ever reads immutable snapshots). The
+// write side — Consider, Insert, Remove, ReplaceExisting, Contains,
 // Clear, SetLimitPolicy — must be externally serialized against both
 // readers and other writers; the adaptive engine holds its write lock
 // around every call.
@@ -127,8 +128,16 @@ type Set struct {
 
 	clock atomic.Uint64 // logical routing clock for LRU
 
-	lruMu    sync.Mutex            // guards lastUsed (touched by concurrent routers)
-	lastUsed map[*view.View]uint64 // last routing tick per partial view
+	lruMu sync.Mutex           // guards usage (touched by concurrent routers)
+	usage map[*view.View]usage // routing recency/frequency per partial view
+}
+
+// usage is one partial view's temperature record: the routing tick of its
+// most recent hit and its total hit count, both advanced by touch. The
+// autopilot's view lifecycle reads them through Temperatures.
+type usage struct {
+	last uint64 // routing tick of the most recent hit
+	uses uint64 // total routing hits
 }
 
 // New creates a set holding the column's full view. maxViews bounds the
@@ -144,22 +153,26 @@ func New(full *view.View, maxViews, discardTol, replaceTol int) *Set {
 		maxViews:   maxViews,
 		discardTol: discardTol,
 		replaceTol: replaceTol,
-		lastUsed:   make(map[*view.View]uint64),
+		usage:      make(map[*view.View]usage),
 	}
 }
 
 // SetLimitPolicy selects the behaviour when the view limit is hit.
 func (s *Set) SetLimitPolicy(p LimitPolicy) { s.limitPolicy = p }
 
-// touch records a routing hit at the given clock tick for LRU accounting.
+// touch records a routing hit at the given clock tick for LRU and
+// temperature accounting.
 func (s *Set) touch(v *view.View, tick uint64) {
 	if v.Full() {
 		return
 	}
 	s.lruMu.Lock()
-	if tick > s.lastUsed[v] {
-		s.lastUsed[v] = tick
+	u := s.usage[v]
+	u.uses++
+	if tick > u.last {
+		u.last = tick
 	}
+	s.usage[v] = u
 	s.lruMu.Unlock()
 }
 
@@ -260,12 +273,14 @@ func (s *Set) Consider(cand *view.View) (Decision, *view.View) {
 			return DiscardedSubset, nil
 		}
 		if cand.CoversSupersetOf(pv) && cand.NumPages() <= pv.NumPages()+s.replaceTol {
-			// Wider range at similar cost: strictly more useful.
+			// Wider range at similar cost: strictly more useful. The
+			// candidate inherits the displaced view's temperature — it
+			// serves the same (and more) queries.
 			old := pv
 			s.replaceAt(i, cand)
 			s.lruMu.Lock()
-			s.lastUsed[cand] = s.lastUsed[old]
-			delete(s.lastUsed, old)
+			s.usage[cand] = s.usage[old]
+			delete(s.usage, old)
 			s.lruMu.Unlock()
 			return Replaced, old
 		}
@@ -275,13 +290,13 @@ func (s *Set) Consider(cand *view.View) (Decision, *view.View) {
 			s.lruMu.Lock()
 			victimIdx := 0
 			for i, pv := range s.partials {
-				if s.lastUsed[pv] < s.lastUsed[s.partials[victimIdx]] {
+				if s.usage[pv].last < s.usage[s.partials[victimIdx]].last {
 					victimIdx = i
 				}
 			}
 			victim := s.partials[victimIdx]
-			delete(s.lastUsed, victim)
-			s.lastUsed[cand] = s.clock.Load()
+			delete(s.usage, victim)
+			s.usage[cand] = usage{last: s.clock.Load()}
 			s.lruMu.Unlock()
 			s.replaceAt(victimIdx, cand)
 			return Evicted, victim
@@ -293,14 +308,17 @@ func (s *Set) Consider(cand *view.View) (Decision, *view.View) {
 	copy(next, s.partials)
 	s.partials = append(next, cand)
 	s.lruMu.Lock()
-	s.lastUsed[cand] = s.clock.Load()
+	s.usage[cand] = usage{last: s.clock.Load()}
 	s.lruMu.Unlock()
 	return Inserted, nil
 }
 
 // Insert adds a view unconditionally (used by rebuilds and by experiment
 // setup that creates views directly, §3.1/§3.4). It fails once maxViews is
-// reached. Insert is a write operation.
+// reached. The view starts with the current clock as its recency, like an
+// adaptively inserted candidate — a pre-created view must not look
+// never-used (and therefore cold) to the temperature export. Insert is a
+// write operation.
 func (s *Set) Insert(v *view.View) error {
 	if len(s.partials) >= s.maxViews {
 		return fmt.Errorf("viewset: view limit %d reached", s.maxViews)
@@ -308,7 +326,62 @@ func (s *Set) Insert(v *view.View) error {
 	next := make([]*view.View, len(s.partials), len(s.partials)+1)
 	copy(next, s.partials)
 	s.partials = append(next, v)
+	s.lruMu.Lock()
+	s.usage[v] = usage{last: s.clock.Load()}
+	s.lruMu.Unlock()
 	return nil
+}
+
+// Remove deletes a partial view from the set (the caller releases it) and
+// unfreezes the set: eviction reopens capacity, so candidate generation
+// resumes — the point of the temperature-driven lifecycle. It returns
+// false when v is not a member. Remove is a write operation.
+func (s *Set) Remove(v *view.View) bool {
+	for i, pv := range s.partials {
+		if pv != v {
+			continue
+		}
+		next := make([]*view.View, 0, len(s.partials)-1)
+		next = append(next, s.partials[:i]...)
+		next = append(next, s.partials[i+1:]...)
+		s.partials = next
+		s.frozen = false
+		s.lruMu.Lock()
+		delete(s.usage, v)
+		s.lruMu.Unlock()
+		return true
+	}
+	return false
+}
+
+// Contains reports whether v is currently a partial-view member. Contains
+// is a write-side operation (callers hold the exclusive room).
+func (s *Set) Contains(v *view.View) bool {
+	for _, pv := range s.partials {
+		if pv == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ReplaceExisting installs repl in old's slot, transferring old's
+// temperature (a rebuilt view serves the same range, so its history
+// carries over). It returns false when old is not a member.
+// ReplaceExisting is a write operation.
+func (s *Set) ReplaceExisting(old, repl *view.View) bool {
+	for i, pv := range s.partials {
+		if pv != old {
+			continue
+		}
+		s.replaceAt(i, repl)
+		s.lruMu.Lock()
+		s.usage[repl] = s.usage[old]
+		delete(s.usage, old)
+		s.lruMu.Unlock()
+		return true
+	}
+	return false
 }
 
 // Clear removes and returns all partial views (the caller releases them)
@@ -319,7 +392,35 @@ func (s *Set) Clear() []*view.View {
 	s.partials = nil
 	s.frozen = false
 	s.lruMu.Lock()
-	s.lastUsed = make(map[*view.View]uint64)
+	s.usage = make(map[*view.View]usage)
+	s.lruMu.Unlock()
+	return out
+}
+
+// Clock returns the current routing tick of the LRU clock. Ages derived
+// from it are in "queries routed" units, which makes temperature
+// thresholds deterministic and load-independent.
+func (s *Set) Clock() uint64 { return s.clock.Load() }
+
+// Temperature is one partial view's access recency/frequency, exported
+// for the autopilot's temperature-driven lifecycle.
+type Temperature struct {
+	View     *view.View
+	LastUsed uint64 // routing tick of the most recent hit (insertion tick if never routed)
+	Uses     uint64 // total routing hits
+}
+
+// Temperatures snapshots every partial view's temperature. Like the rest
+// of the read side it is safe for concurrent callers: the partial slice
+// is an immutable snapshot and the usage map has its own lock.
+func (s *Set) Temperatures() []Temperature {
+	ps := s.partials // immutable snapshot
+	out := make([]Temperature, 0, len(ps))
+	s.lruMu.Lock()
+	for _, v := range ps {
+		u := s.usage[v]
+		out = append(out, Temperature{View: v, LastUsed: u.last, Uses: u.uses})
+	}
 	s.lruMu.Unlock()
 	return out
 }

@@ -340,3 +340,105 @@ func TestDecisionZeroValue(t *testing.T) {
 		t.Fatal("DecisionNone aliases Inserted")
 	}
 }
+
+func TestTemperatures(t *testing.T) {
+	f := newFixture(t)
+	s := f.newSet(10, 0, 0)
+	hot := f.mkView(0, 400_000)
+	cold := f.mkView(600_000, 800_000)
+	if err := s.Insert(hot); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(cold); err != nil {
+		t.Fatal(err)
+	}
+	// Route inside hot's range repeatedly; cold is never hit.
+	for i := 0; i < 5; i++ {
+		if got := s.RouteSingle(100_000, 200_000); got != hot {
+			t.Fatalf("routed to %v", got)
+		}
+	}
+	temps := s.Temperatures()
+	if len(temps) != 2 {
+		t.Fatalf("%d temperatures, want 2", len(temps))
+	}
+	byView := map[*view.View]Temperature{}
+	for _, tp := range temps {
+		byView[tp.View] = tp
+	}
+	h, c := byView[hot], byView[cold]
+	if h.Uses != 5 {
+		t.Fatalf("hot uses = %d, want 5", h.Uses)
+	}
+	if c.Uses != 0 {
+		t.Fatalf("cold uses = %d, want 0", c.Uses)
+	}
+	if h.LastUsed != s.Clock() {
+		t.Fatalf("hot last used %d, clock %d", h.LastUsed, s.Clock())
+	}
+	// Insertion stamps recency: a never-routed view is not "never used".
+	if c.LastUsed != 0 {
+		// cold was inserted at clock 0, before any routing.
+		t.Fatalf("cold last used %d, want insertion tick 0", c.LastUsed)
+	}
+}
+
+func TestRemoveUnfreezes(t *testing.T) {
+	f := newFixture(t)
+	s := f.newSet(1, 0, 0)
+	v := f.mkView(0, 100_000)
+	if dec, _ := s.Consider(v); dec != Inserted {
+		t.Fatalf("decision %v", dec)
+	}
+	big := f.mkView(200_000, 900_000)
+	if dec, _ := s.Consider(big); dec != DiscardedLimit {
+		t.Fatalf("decision %v", dec)
+	}
+	if !s.Frozen() {
+		t.Fatal("set not frozen at limit")
+	}
+	if s.Remove(f.mkView(5, 6)) {
+		t.Fatal("removed a non-member")
+	}
+	if !s.Remove(v) {
+		t.Fatal("member not removed")
+	}
+	if s.Frozen() || s.Len() != 0 {
+		t.Fatalf("after remove: frozen=%v len=%d", s.Frozen(), s.Len())
+	}
+	if s.Contains(v) {
+		t.Fatal("removed view still contained")
+	}
+	// Capacity reopened: candidates are accepted again.
+	if dec, _ := s.Consider(big); dec != Inserted {
+		t.Fatalf("post-remove decision %v", dec)
+	}
+	_ = v.Release()
+}
+
+func TestReplaceExistingTransfersTemperature(t *testing.T) {
+	f := newFixture(t)
+	s := f.newSet(10, 0, 0)
+	old := f.mkView(0, 400_000)
+	if err := s.Insert(old); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		s.RouteSingle(100_000, 200_000)
+	}
+	repl := f.mkView(0, 400_000)
+	if s.ReplaceExisting(f.mkView(1, 2), repl) {
+		t.Fatal("replaced a non-member")
+	}
+	if !s.ReplaceExisting(old, repl) {
+		t.Fatal("member not replaced")
+	}
+	temps := s.Temperatures()
+	if len(temps) != 1 || temps[0].View != repl {
+		t.Fatalf("temperatures %+v", temps)
+	}
+	if temps[0].Uses != 3 {
+		t.Fatalf("replacement uses = %d, want inherited 3", temps[0].Uses)
+	}
+	_ = old.Release()
+}
