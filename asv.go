@@ -27,6 +27,7 @@ package asv
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/asv-db/asv/internal/core"
 	"github.com/asv-db/asv/internal/dist"
@@ -160,22 +161,42 @@ func (db *DB) MemoryInUse() int {
 	return db.kernel.FramesInUse() * PageSize
 }
 
-// Close releases every column and table.
-func (db *DB) Close() error {
+// removeColumn deregisters a column from the catalog (Column.Close calls
+// it; a name deleted twice is harmless).
+func (db *DB) removeColumn(name string) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	var firstErr error
+	delete(db.columns, name)
+	db.mu.Unlock()
+}
+
+// Close releases every column and table. Columns already closed directly
+// have deregistered themselves and are not double-closed.
+func (db *DB) Close() error {
+	// Snapshot and clear the catalog under the lock, close outside it:
+	// Column.Close deregisters itself through the same mutex.
+	db.mu.Lock()
+	columns := make([]*Column, 0, len(db.columns))
 	for name, c := range db.columns {
+		columns = append(columns, c)
+		delete(db.columns, name)
+	}
+	tables := make([]*Table, 0, len(db.tables))
+	for name, t := range db.tables {
+		tables = append(tables, t)
+		delete(db.tables, name)
+	}
+	db.mu.Unlock()
+
+	var firstErr error
+	for _, c := range columns {
 		if err := c.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
-		delete(db.columns, name)
 	}
-	for name, t := range db.tables {
+	for _, t := range tables {
 		if err := t.tbl.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
-		delete(db.tables, name)
 	}
 	return firstErr
 }
@@ -262,10 +283,11 @@ type ViewInfo struct {
 // one DB are independent — concurrent work on different columns only
 // meets at the simulated kernel, which has its own locks.
 type Column struct {
-	db   *DB
-	col  *storage.Column
-	eng  *core.Engine
-	name string
+	db     *DB
+	col    *storage.Column
+	eng    *core.Engine
+	name   string
+	closed atomic.Bool
 }
 
 // Name returns the column name.
@@ -289,19 +311,26 @@ func (c *Column) FillParallel(g Generator) error { return c.col.FillParallel(g, 
 func (c *Column) Value(row int) (uint64, error) { return c.col.Value(row) }
 
 // Query answers the inclusive range query [lo, hi], adapting the view set
-// as a side product. Query is safe for concurrent callers: read-only
-// scans share the column's read lock, while view publication and update
-// alignment serialize behind its write lock (see Config.Parallelism for
-// intra-query parallelism).
-func (c *Column) Query(lo, hi uint64) (Result, error) { return c.eng.Query(lo, hi) }
+// as a side product. It is a documented thin wrapper over QueryOpt with
+// no options — answers, telemetry and side effects are byte-identical to
+// that call. Query is safe for any number of concurrent callers: routed
+// reads are epoch-based and lock-free, scanning an immutable published
+// state, so update alignment and background maintenance never stall them
+// (see Config.Parallelism for intra-query parallelism).
+func (c *Column) Query(lo, hi uint64) (Result, error) {
+	ans, err := c.QueryOpt(lo, hi)
+	return ans.QueryResult, err
+}
 
 // QueryParallel answers [lo, hi] like Query but scans with GOMAXPROCS
-// page-sharded workers regardless of Config.Parallelism. The answer and
-// every adaptive side effect are identical to Query — shards reduce in
-// page order with commutative aggregates — just faster on large columns
-// when cores are idle.
+// page-sharded workers regardless of Config.Parallelism. It is a
+// documented thin wrapper over QueryOpt(lo, hi, asv.Workers(-1)). The
+// answer and every adaptive side effect are identical to Query — shards
+// reduce in page order with commutative aggregates — just faster on
+// large columns when cores are idle.
 func (c *Column) QueryParallel(lo, hi uint64) (Result, error) {
-	return c.eng.QueryParallel(lo, hi, -1)
+	ans, err := c.QueryOpt(lo, hi, Workers(-1))
+	return ans.QueryResult, err
 }
 
 // Update overwrites one row through the full view and buffers the change
@@ -351,12 +380,21 @@ func (c *Column) Views() []ViewInfo {
 // Stats returns the column's cumulative engine counters.
 func (c *Column) Stats() EngineStats { return c.eng.Stats() }
 
-// Close releases the views and the column storage.
+// Close releases the views and the column storage and deregisters the
+// column from the DB catalog, so the name becomes reusable — exactly
+// like Table.Close. Close blocks until every Snapshot taken from the
+// column has been closed. Double-close is a no-op, and a column closed
+// directly is skipped (not double-closed) by a later DB.Close.
 func (c *Column) Close() error {
-	if err := c.eng.Close(); err != nil {
-		return err
+	if c.closed.Swap(true) {
+		return nil
 	}
-	return c.col.Close()
+	c.db.removeColumn(c.name)
+	firstErr := c.eng.Close()
+	if err := c.col.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 // CreateOptions re-exports the view-creation optimization switches for

@@ -14,7 +14,9 @@
 // fig6b, fig7a, fig7b, table1, concurrent (multi-client throughput,
 // beyond the paper), updates (mixed read/write throughput over the
 // sharded update write path, beyond the paper), autopilot (bounded-
-// latency engine-side write coalescing, beyond the paper), all. An
+// latency engine-side write coalescing, beyond the paper), snapshot
+// (reader qps under a forced alignment storm: legacy room-lock reads vs
+// epoch-routed reads vs pinned snapshots, beyond the paper), all. An
 // unknown -experiment name fails with the list of valid names. The
 // default scale is 1/16 of the paper's
 // (65,536 pages ≈ 256 MiB per column); -pages 1048576 reproduces the
@@ -111,6 +113,9 @@ var experiments = []experiment{
 	}},
 	{"autopilot", "autopilot write coalescing: lone vs auto vs batched writes, p50/p99 flush latency (beyond the paper)", func(s harness.Scale) ([]*harness.Table, error) {
 		return one(harness.RunAutopilot(s))
+	}},
+	{"snapshot", "reader qps under forced alignment storm: room-lock vs epoch vs pinned-snapshot reads (beyond the paper)", func(s harness.Scale) ([]*harness.Table, error) {
+		return one(harness.RunSnapshot(s))
 	}},
 }
 

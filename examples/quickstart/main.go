@@ -61,5 +61,14 @@ func main() {
 	for i, v := range col.Views() {
 		fmt.Printf("view %d: [%d, %d] over %d pages\n", i, v.Lo, v.Hi, v.Pages)
 	}
+
+	// One options-based entry point unifies the read API: request row IDs
+	// and aggregates alongside the usual telemetry in a single scan.
+	ans, err := col.QueryOpt(10_000_000, 12_000_000, asv.Rows(), asv.Aggregate())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("queryopt: %d rows materialized, min %d, max %d, mean %.0f\n",
+		ans.Rows.Len(), ans.Agg.Min, ans.Agg.Max, ans.Agg.Mean())
 	fmt.Printf("memory in use: %d MiB\n", db.MemoryInUse()/(1<<20))
 }

@@ -36,22 +36,32 @@ const (
 	EvictLRU = core.EvictLRU
 )
 
-// Aggregate summarizes the qualifying values of a range query.
-type Aggregate = core.Aggregate
+// AggregateResult summarizes the qualifying values of a range query.
+// (The former name Aggregate now constructs the QueryOpt option.)
+type AggregateResult = core.Aggregate
 
 // RowSet is a materialized set of qualifying row IDs.
 type RowSet = core.RowSet
 
 // QueryRows answers [lo, hi] and materializes the qualifying row IDs,
-// with the same adaptive side effects as Query.
+// with the same adaptive side effects as Query. It is a documented thin
+// wrapper over QueryOpt(lo, hi, asv.Rows()) — answers, telemetry and
+// side effects are byte-identical to that call.
 func (c *Column) QueryRows(lo, hi uint64) (*RowSet, Result, error) {
-	return c.eng.QueryRows(lo, hi)
+	ans, err := c.QueryOpt(lo, hi, Rows())
+	return ans.Rows, ans.QueryResult, err
 }
 
 // QueryAggregate answers [lo, hi] with count, sum, min and max over the
-// qualifying values.
-func (c *Column) QueryAggregate(lo, hi uint64) (Aggregate, Result, error) {
-	return c.eng.QueryAggregate(lo, hi)
+// qualifying values. It is a documented thin wrapper over
+// QueryOpt(lo, hi, asv.Aggregate()) — answers, telemetry and side
+// effects are byte-identical to that call.
+func (c *Column) QueryAggregate(lo, hi uint64) (AggregateResult, Result, error) {
+	ans, err := c.QueryOpt(lo, hi, Aggregate())
+	if ans.Agg == nil {
+		return AggregateResult{}, ans.QueryResult, err
+	}
+	return *ans.Agg, ans.QueryResult, err
 }
 
 // WriteTo serializes the column's data pages (views are an adaptive cache

@@ -331,16 +331,16 @@ func TestStaleCandidateDiscarded(t *testing.T) {
 
 	scan := func(lo, hi uint64) (*view.View, uint64) {
 		t.Helper()
-		eng.mu.RLock()
-		defer eng.mu.RUnlock()
-		_, cand, err := eng.scanLocked(lo, hi, nil, 1)
+		st := eng.acquireState()
+		defer eng.releaseState(st)
+		_, cand, err := eng.scanState(st, lo, hi, nil, 1, true)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if cand == nil {
 			t.Fatal("no candidate built")
 		}
-		return cand, eng.gen
+		return cand, st.gen
 	}
 
 	// No intervening mutation: the candidate publishes normally.
@@ -406,10 +406,10 @@ func TestCloseDiscardsLateCandidates(t *testing.T) {
 	}
 	// A scan in flight when Close lands: its candidate must be discarded,
 	// never inserted into the cleared set.
-	eng.mu.RLock()
-	_, cand, err := eng.scanLocked(ccDomain/3, ccDomain/3+ccDomain/20, nil, 1)
-	gen := eng.gen
-	eng.mu.RUnlock()
+	st := eng.acquireState()
+	_, cand, err := eng.scanState(st, ccDomain/3, ccDomain/3+ccDomain/20, nil, 1, true)
+	gen := st.gen
+	eng.releaseState(st)
 	if err != nil {
 		t.Fatal(err)
 	}

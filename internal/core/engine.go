@@ -11,6 +11,7 @@ import (
 	"github.com/asv-db/asv/internal/storage"
 	"github.com/asv-db/asv/internal/view"
 	"github.com/asv-db/asv/internal/viewset"
+	"github.com/asv-db/asv/internal/vmsim"
 )
 
 // Engine is the adaptive storage layer of one column: it owns the view
@@ -18,18 +19,25 @@ import (
 // a side product of query processing, and realigns views after update
 // batches.
 //
-// An Engine is safe for concurrent use. The discipline is a three-mode
-// room lock per engine (see roomLock): routed read-only queries share
-// the scan room — any number of clients scan simultaneously, through
-// shared or distinct views — concurrent Update callers share the update
-// room, appending to per-shard pending buffers (the per-shard lock
-// serializes writes to the same physical page), and every operation
-// that mutates view state (FlushUpdates/AlignViews, CreateView,
-// RebuildViews, Close) takes the exclusive room. A query that grows the
-// view set builds its candidate entirely from private state during the
-// scan-room pass and only takes the exclusive room for the retention
-// decision that publishes it. The VM simulator below has its own locks,
-// so background mapping keeps overlapping with scanning exactly as in
+// An Engine is safe for concurrent use. Routed read-only queries are
+// epoch-based and lock-free: the routed-read state — the copy-on-write
+// view-set capture, the candidate-invalidation generation, and the
+// resolved soft-TLBs — lives in an immutable engineState published via
+// an atomic pointer (see state.go). Queries load the pointer, pin the
+// state with one atomic increment, and route and scan entirely against
+// the capture; they never enter the room lock. Writers use the
+// remaining two room modes (see roomLock): concurrent Update callers
+// share the update room, appending to per-shard pending buffers (the
+// per-shard lock serializes writes to the same physical page, and the
+// column's copy-on-write shadows first-writes per epoch so pinned
+// readers keep frozen pages), and every operation that mutates view
+// state (FlushUpdates/AlignViews, CreateView, RebuildViews, Close, the
+// autopilot's lifecycle duties) takes the exclusive room, builds a
+// successor state, and swaps it in. A query that grows the view set
+// builds its candidate entirely from private state during the pinned
+// scan and only takes the exclusive room for the retention decision
+// that publishes it. The VM simulator below has its own locks, so
+// background mapping keeps overlapping with scanning exactly as in
 // §2.3.
 type Engine struct {
 	col    *storage.Column
@@ -38,11 +46,28 @@ type Engine struct {
 	mapper *view.Mapper
 
 	// mu serializes view-set mutation and page rewiring (exclusive room)
-	// against the scan room, and the scan room against the update room:
-	// column writes must never land on a page a concurrent scan is
-	// reading, and scans may only run when the views reflect every
-	// applied write (§2.4).
+	// against the update room and — for engines configured with
+	// Config.RoomLockReads — against the legacy scan room. Epoch-routed
+	// queries never take it: they read published immutable states, and
+	// the copy-on-write write path keeps writers off every page a pinned
+	// capture can reach (§2.4 consistency comes from flush-then-publish
+	// instead of reader/writer exclusion).
 	mu roomLock
+
+	// state is the current published routed-read state; stateMu/stateCond
+	// guard the retirement walk from oldest to newest (see state.go).
+	// pendingRetired parks displaced frames across a failed publication;
+	// retireErr records the first error surfaced while retiring states
+	// (returned by Close).
+	state          atomic.Pointer[engineState]
+	stateMu        sync.Mutex
+	stateCond      *sync.Cond
+	oldest         *engineState
+	pendingRetired []vmsim.FrameID
+	retireErr      error
+	// closing arms the drain barrier's wakeup in releaseState; set by
+	// Close before it waits, so the hot read path pays one atomic load.
+	closing atomic.Bool
 	// shards are the pending update buffers, hashed by physical page
 	// (Row / ValuesPerPage % len(shards)). Writers append under the
 	// update room plus the per-shard lock; the exclusive room drains
@@ -170,6 +195,13 @@ func NewEngine(col *storage.Column, cfg Config) (*Engine, error) {
 		set:    set,
 		shards: make([]updateShard, resolveShards(cfg.UpdateShards)),
 	}
+	e.stateCond = sync.NewCond(&e.stateMu)
+	// Epoch routing needs the column's copy-on-write write path: a
+	// published capture must stay frozen while writers shadow pages.
+	col.EnableSnapshots()
+	if err := e.initState(); err != nil {
+		return nil, err
+	}
 	if cfg.Adaptive && cfg.Create.Concurrent {
 		e.mapper = view.NewMapper(cfg.MapperQueueCap)
 	}
@@ -238,7 +270,10 @@ func (e *Engine) ResetStats() { e.stats.reset() }
 // CreateView builds a partial view over [lo, hi] directly from the full
 // view and inserts it, bypassing the adaptive retention rules. The §3.1
 // micro-benchmark and the §3.4 update experiments set up their views this
-// way.
+// way. The view keeps the declared [lo, hi] rather than Create's
+// extended range, like rebuilt views: the range must be pinned before
+// the state capture publishes it, or epoch readers would route the
+// extension while alignment maintains the narrower declared contract.
 func (e *Engine) CreateView(lo, hi uint64) (*view.View, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -246,7 +281,13 @@ func (e *Engine) CreateView(lo, hi uint64) (*view.View, error) {
 	if err != nil {
 		return nil, err
 	}
+	v.SetRange(lo, hi)
 	if err := e.set.Insert(v); err != nil {
+		_ = v.Release()
+		return nil, err
+	}
+	if err := e.publishStateLocked(); err != nil {
+		e.set.Remove(v)
 		_ = v.Release()
 		return nil, err
 	}
@@ -317,11 +358,17 @@ func (e *Engine) RebuildViews() error {
 			}
 		}
 	}
+	if err := e.publishStateLocked(); err != nil && firstErr == nil {
+		firstErr = err
+	}
 	return firstErr
 }
 
 // Close releases all partial views and stops the mapping thread and the
-// autopilot. It waits for in-flight queries to drain. The column itself
+// autopilot. It waits for in-flight queries to drain and blocks until
+// every Snapshot taken from the engine has been closed — a pinned epoch
+// keeps its views and frozen page frames alive, and Close's contract is
+// that nothing survives it. Close is idempotent. The column itself
 // stays usable (and must be closed by its owner).
 func (e *Engine) Close() error {
 	if e.pilot != nil {
@@ -331,20 +378,42 @@ func (e *Engine) Close() error {
 		// about to be released anyway.
 		e.pilot.Stop()
 	}
+	e.closing.Store(true)
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	if e.closed {
+		e.mu.Unlock()
+		e.waitStatesDrained()
+		return nil
+	}
 	e.gen++
 	e.closed = true
 	var firstErr error
 	for _, v := range e.set.Clear() {
+		// Drops the set's owner reference; the unmap happens here unless
+		// a still-pinned state holds the view, in which case it follows
+		// that state's drain.
 		if err := v.Release(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
+	if err := e.publishStateLocked(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	e.mu.Unlock()
+
+	// Wait for every superseded state to drain: in-flight queries finish
+	// on their own, and open snapshots block here until closed. Only
+	// then is it safe to stop the mapper — a reader pinned to an older
+	// state may still be finishing a candidate build through it.
+	e.waitStatesDrained()
 	if e.mapper != nil {
 		e.mapper.Stop()
-		e.mapper = nil
 	}
+	e.stateMu.Lock()
+	if e.retireErr != nil && firstErr == nil {
+		firstErr = e.retireErr
+	}
+	e.stateMu.Unlock()
 	return firstErr
 }
 

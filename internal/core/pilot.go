@@ -130,11 +130,18 @@ func (t pilotTarget) EvictViews(handles []any) (int, error) {
 		if !ok || !e.set.Remove(v) {
 			continue
 		}
+		// Drops the set's owner reference; a pinned epoch still routing
+		// to the view keeps it mapped until that state drains.
 		if err := v.Release(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 		e.stats.viewsExpired.Add(1)
 		evicted++
+	}
+	if evicted > 0 {
+		if err := e.publishStateLocked(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	return evicted, firstErr
 }
@@ -167,7 +174,11 @@ func (t pilotTarget) RebuildView(h any) (bool, error) {
 		return false, nil
 	}
 	e.stats.viewsRebuilt.Add(1)
-	return true, e.releaseView(v)
+	err = e.releaseView(v)
+	if perr := e.publishStateLocked(); perr != nil && err == nil {
+		err = perr
+	}
+	return true, err
 }
 
 // WarmView re-resolves one hot view's soft-TLB in an exclusive-room

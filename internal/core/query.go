@@ -23,71 +23,44 @@ type QueryResult struct {
 }
 
 // Query answers the inclusive range query [lo, hi], creating and
-// maintaining partial views as a side product (Listing 1). Scan work uses
-// Config.Parallelism page-sharded workers (default: serial).
+// maintaining partial views as a side product (Listing 1). It is a thin
+// wrapper over QueryOpt with no options: scan work uses
+// Config.Parallelism page-sharded workers (default: serial), and answer,
+// telemetry and adaptive side effects are identical to that call.
 //
-// If updates are pending (buffered via Update but not yet flushed), Query
-// flushes them first: partial views must reflect all updates before they
-// may answer queries (§2.4), and returning stale answers is never
+// If updates are pending (buffered via Update but not yet flushed), the
+// query flushes them first: partial views must reflect all updates before
+// they may answer queries (§2.4), and returning stale answers is never
 // acceptable. Callers that want update batching simply issue updates in
 // runs between queries — exactly the paper's model.
 //
-// Query is safe for concurrent callers: read-only routed scans share the
-// engine's read lock, while view publication and update alignment are
-// serialized behind the write lock.
+// Query is safe for any number of concurrent callers. Routed reads are
+// epoch-based and lock-free: each query pins the current published
+// engine state and scans its immutable capture, so exclusive alignment
+// and maintenance work never stall readers (see QueryOpt).
 func (e *Engine) Query(lo, hi uint64) (QueryResult, error) {
-	return e.queryCollect(lo, hi, nil)
+	ans, err := e.QueryOpt(lo, hi, QueryOptions{})
+	return ans.QueryResult, err
 }
 
 // QueryParallel answers [lo, hi] like Query but scans with the given
 // number of page-sharded workers (<= 0 selects GOMAXPROCS), overriding
-// Config.Parallelism for this query. The answer — and every adaptive side
-// effect, including the candidate view's page set — is identical to the
-// serial Query: shards reduce in page order with commutative aggregates.
+// Config.Parallelism for this query. It is a thin wrapper over QueryOpt
+// with the Workers option. The answer — and every adaptive side effect,
+// including the candidate view's page set — is identical to the serial
+// Query: shards reduce in page order with commutative aggregates.
 func (e *Engine) QueryParallel(lo, hi uint64, workers int) (QueryResult, error) {
-	if workers <= 0 {
-		workers = -1 // resolveWorkers: GOMAXPROCS
-	}
-	return e.queryCollectWorkers(lo, hi, nil, workers)
-}
-
-// route returns the source views for [lo, hi] according to the configured
-// mode and multi-view policy.
-func (e *Engine) route(lo, hi uint64) []*view.View {
-	if e.cfg.Mode != MultiView {
-		return []*view.View{e.set.RouteSingle(lo, hi)}
-	}
-	multi := e.set.RouteMulti(lo, hi)
-	if multi == nil {
-		return []*view.View{e.set.RouteSingle(lo, hi)}
-	}
-	if e.cfg.MultiViewPolicy == PreferMulti {
-		// The paper's current policy: use multiple views whenever they
-		// cover the range, "instead of directing the query to a single
-		// (potentially larger) view".
-		return multi
-	}
-	// CostBased — the paper's stated future work: "we plan to base this
-	// decision on the covered value ranges and the number of indexed
-	// pages". Compare the cover's total page count (an upper bound: shared
-	// pages are deduplicated at scan time) against the cheapest single
-	// covering view and take the cheaper plan.
-	single := e.set.RouteSingle(lo, hi)
-	coverPages := 0
-	for _, v := range multi {
-		coverPages += v.NumPages()
-	}
-	if single.NumPages() <= coverPages {
-		return []*view.View{single}
-	}
-	return multi
+	ans, err := e.QueryOpt(lo, hi, QueryOptions{Workers: workers, HasWorkers: true})
+	return ans.QueryResult, err
 }
 
 // applyDecision performs the side effects of a retention decision:
 // releasing discarded candidates, displaced views, and evicted views, and
-// updating counters. A displaced view is released after it left the set —
-// readers admitted later cannot route to it, and the reader that displaced
-// it has finished scanning, so the unmap never races a scan.
+// updating counters. A displaced view left the live set with the state
+// that published the decision: readers admitted later route the new
+// capture, and every older state that can still route to it holds its own
+// reference, so the release here only drops the set's owner reference —
+// the unmap happens when the last pinned epoch drains.
 func (e *Engine) applyDecision(dec viewset.Decision, cand, displaced *view.View) error {
 	switch dec {
 	case viewset.Inserted:
@@ -106,8 +79,43 @@ func (e *Engine) applyDecision(dec viewset.Decision, cand, displaced *view.View)
 	return nil
 }
 
-// fullScan answers [lo, hi] from the full view only (baseline mode); the
-// caller holds the read lock.
-func (e *Engine) fullScan(lo, hi uint64) (QueryResult, error) {
-	return e.fullScanCollect(lo, hi, nil, 1)
+// publishCandidate takes the exclusive room and runs the retention
+// decision for a candidate built during a pinned-state scan that observed
+// generation gen. Between the scan and this call an update alignment,
+// rebuild or close may have run, in which case the candidate's page set
+// is stale — alignment only walks set members, so publishing it now would
+// install a view no flush will ever repair — or the set is gone entirely
+// (Close must not regrow, and must not leak, late candidates). Such
+// candidates are reported DiscardedStale for the caller to release
+// instead of being published. A decision that mutates the set publishes
+// the successor state, making the new view routable by later readers.
+func (e *Engine) publishCandidate(cand *view.View, gen uint64) (viewset.Decision, *view.View) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed || e.gen != gen {
+		return viewset.DiscardedStale, nil
+	}
+	dec, displaced := e.set.Consider(cand)
+	switch dec {
+	case viewset.DiscardedLimit:
+		// The set just froze — a set-state transition readers must
+		// observe, or every later query would keep building (and
+		// discarding) candidates. A failed capture is tolerable here:
+		// the freeze itself stands, publication catches up with the
+		// next successful mutation.
+		_ = e.publishStateLocked()
+	case viewset.Inserted, viewset.Replaced, viewset.Evicted:
+		if err := e.publishStateLocked(); err != nil {
+			// The set mutated but the capture failed — undo by removing
+			// the candidate again so readers never observe a state the
+			// capture machinery could not publish.
+			if displaced != nil {
+				e.set.ReplaceExisting(cand, displaced)
+			} else {
+				e.set.Remove(cand)
+			}
+			return viewset.DiscardedStale, nil
+		}
+	}
+	return dec, displaced
 }

@@ -1,13 +1,7 @@
 package core
 
 import (
-	"fmt"
-	"time"
-
 	"github.com/asv-db/asv/internal/bitvec"
-	"github.com/asv-db/asv/internal/storage"
-	"github.com/asv-db/asv/internal/view"
-	"github.com/asv-db/asv/internal/viewset"
 )
 
 // RowSet is the result of a row-materializing query: one bit per row of
@@ -60,17 +54,12 @@ func (r *RowSet) ForEach(fn func(row int) bool) {
 }
 
 // QueryRows answers [lo, hi] like Query but additionally materializes the
-// qualifying row IDs. View adaptation happens exactly as for Query: the
-// scan is the same, it just also emits matches.
+// qualifying row IDs. It is a thin wrapper over QueryOpt with the
+// CollectRows option — answer, telemetry and every adaptive side effect
+// are identical to that call.
 func (e *Engine) QueryRows(lo, hi uint64) (*RowSet, QueryResult, error) {
-	rs := NewRowSet(e.col.Rows())
-	res, err := e.queryCollect(lo, hi, func(pageID uint64, pg []byte) {
-		base := int(pageID) * storage.ValuesPerPage
-		storage.CollectMatches(pg, lo, hi, func(slot int, _ uint64) {
-			rs.Add(base + slot)
-		})
-	})
-	return rs, res, err
+	ans, err := e.QueryOpt(lo, hi, QueryOptions{CollectRows: true})
+	return ans.Rows, ans.QueryResult, err
 }
 
 // Aggregate summarizes the qualifying values of a range query.
@@ -92,274 +81,12 @@ func (a Aggregate) Mean() float64 {
 }
 
 // QueryAggregate answers [lo, hi] with count/sum/min/max over the
-// qualifying values, with the same adaptive side effects as Query.
+// qualifying values, with the same adaptive side effects as Query. It is
+// a thin wrapper over QueryOpt with the ComputeAggregate option.
 func (e *Engine) QueryAggregate(lo, hi uint64) (Aggregate, QueryResult, error) {
-	agg := Aggregate{}
-	res, err := e.queryCollect(lo, hi, func(_ uint64, pg []byte) {
-		storage.CollectMatches(pg, lo, hi, func(_ int, v uint64) {
-			if agg.Count == 0 || v < agg.Min {
-				agg.Min = v
-			}
-			if agg.Count == 0 || v > agg.Max {
-				agg.Max = v
-			}
-			agg.Count++
-		})
-	})
-	agg.Sum = res.Sum
-	if agg.Count != res.Count {
-		// The collecting pass and the filtering pass disagree — impossible
-		// unless a page mutated mid-query, which the engine forbids.
-		return agg, res, fmt.Errorf("core: aggregate drift: %d != %d", agg.Count, res.Count)
+	ans, err := e.QueryOpt(lo, hi, QueryOptions{ComputeAggregate: true})
+	if ans.Agg == nil {
+		return Aggregate{}, ans.QueryResult, err
 	}
-	return agg, res, err
-}
-
-// queryCollect runs the full Listing-1 query path and additionally invokes
-// collect for every qualifying page (after dedup), letting callers
-// materialize matches without duplicating the adaptive machinery. The scan
-// worker count comes from Config.Parallelism.
-func (e *Engine) queryCollect(lo, hi uint64, collect func(pageID uint64, pg []byte)) (QueryResult, error) {
-	return e.queryCollectWorkers(lo, hi, collect, e.cfg.Parallelism)
-}
-
-// queryCollectWorkers is queryCollect with an explicit parallelism knob
-// (see resolveWorkers). Locking discipline: the routed scan — including
-// candidate construction, which touches only query-private state — runs
-// under the read lock; only flushing pending updates and the retention
-// decision that publishes the candidate take the write lock.
-func (e *Engine) queryCollectWorkers(lo, hi uint64, collect func(uint64, []byte), parallelism int) (QueryResult, error) {
-	if lo > hi {
-		lo, hi = hi, lo
-	}
-	e.stats.queries.Add(1)
-	workers := resolveWorkers(parallelism)
-
-	if !e.cfg.Adaptive {
-		e.mu.RLock()
-		defer e.mu.RUnlock()
-		return e.fullScanCollect(lo, hi, collect, workers)
-	}
-
-	// Partial views must reflect all updates before they may answer
-	// queries (§2.4), and returning stale answers is never acceptable.
-	// Writers are locked out while the scan room is occupied, so once the
-	// pending counter reads zero under the scan room it stays zero for
-	// the whole scan; an update that slips in between the flush and the
-	// scan-room reacquire simply re-runs the loop.
-	e.mu.RLock()
-	for e.pendingCount.Load() > 0 {
-		e.mu.RUnlock()
-		e.mu.Lock()
-		// Re-check under the exclusive room: a racing query may have
-		// flushed the same batch first.
-		var err error
-		if e.pendingCount.Load() > 0 {
-			_, err = e.flushLocked()
-		}
-		e.mu.Unlock()
-		if err != nil {
-			return QueryResult{}, err
-		}
-		e.mu.RLock()
-	}
-	res, cand, err := e.scanLocked(lo, hi, collect, workers)
-	gen := e.gen
-	e.mu.RUnlock()
-	if err != nil || cand == nil {
-		return res, err
-	}
-
-	dec, displaced := e.publishCandidate(cand, gen)
-	res.CandidateBuilt = true
-	res.Decision = dec
-	if err := e.applyDecision(dec, cand, displaced); err != nil {
-		return res, err
-	}
-	return res, nil
-}
-
-// publishCandidate takes the write lock and runs the retention decision
-// for a candidate built during a read-locked scan that observed
-// generation gen. Reacquiring the lock opens a window: an update
-// alignment, rebuild or close may have run since the scan, in which case
-// the candidate's page set is stale — alignment only walks set members,
-// so publishing it now would install a view no flush will ever repair —
-// or the set is gone entirely (Close must not regrow, and must not leak,
-// late candidates). Such candidates are reported DiscardedStale for the
-// caller to release instead of being published.
-func (e *Engine) publishCandidate(cand *view.View, gen uint64) (viewset.Decision, *view.View) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed || e.gen != gen {
-		return viewset.DiscardedStale, nil
-	}
-	return e.set.Consider(cand)
-}
-
-// scanLocked is the read-locked body of a routed query: route, scan every
-// source (through the parallel kernel when workers > 1), and build the
-// candidate view. It returns the finished candidate (nil when the set is
-// frozen) for the caller to publish under the write lock.
-func (e *Engine) scanLocked(lo, hi uint64, collect func(uint64, []byte), workers int) (QueryResult, *view.View, error) {
-	sources := e.route(lo, hi)
-	res := QueryResult{ViewsUsed: len(sources)}
-	for _, sv := range sources {
-		if sv.Full() {
-			res.UsedFullView = true
-			e.stats.fullViewQueries.Add(1)
-		}
-	}
-	var processed *bitvec.Vector
-	if len(sources) > 1 {
-		processed = e.getProcessed()
-		defer e.putProcessed(processed)
-	}
-	var builder *view.Builder
-	// closed is stable once set (readable under the read lock): a closed
-	// engine's candidates would be discarded at publication anyway, so
-	// skip building them rather than mmap-and-release on every query.
-	if !e.set.Frozen() && !e.closed {
-		var err error
-		builder, err = view.NewBuilder(e.col, e.cfg.Create, e.mapper)
-		if err != nil {
-			return res, nil, err
-		}
-	}
-	ext := view.NewRangeExtender(lo, hi)
-	var emit func(pid uint64, pg []byte)
-	if collect != nil || builder != nil {
-		emit = func(pid uint64, pg []byte) {
-			if collect != nil {
-				collect(pid, pg)
-			}
-			if builder != nil {
-				builder.AddPage(int(pid))
-			}
-		}
-	}
-	for _, sv := range sources {
-		n := sv.NumPages()
-		fetch := sv.PageBytes
-		if processed != nil {
-			if workers <= 1 {
-				// Serial multi-view scan: keep dedup and filter fused in
-				// one allocation-free pass (the paper's hot path).
-				for i := 0; i < n; i++ {
-					pg, err := sv.PageBytes(i)
-					if err != nil {
-						if builder != nil {
-							_ = builder.Abort()
-						}
-						return res, nil, err
-					}
-					pid := storage.PageID(pg)
-					if processed.TestAndSet(int(pid)) {
-						continue
-					}
-					s := storage.ScanFilter(pg, lo, hi)
-					res.PagesScanned++
-					if s.Count == 0 {
-						ext.ObserveExcluded(s)
-						continue
-					}
-					res.Count += s.Count
-					res.Sum += s.Sum
-					if emit != nil {
-						emit(pid, pg)
-					}
-				}
-				continue
-			}
-			// Sharded multi-view scan: resolve this source's
-			// not-yet-processed pages in scan order before splitting —
-			// identity resolution is a soft-TLB read, so the prepass costs
-			// a few ns per page and keeps TestAndSet single-threaded
-			// (bitvec is not atomic).
-			refs := make([][]byte, 0, n)
-			for i := 0; i < n; i++ {
-				pg, err := sv.PageBytes(i)
-				if err != nil {
-					if builder != nil {
-						_ = builder.Abort()
-					}
-					return res, nil, err
-				}
-				if processed.TestAndSet(int(storage.PageID(pg))) {
-					continue
-				}
-				refs = append(refs, pg)
-			}
-			n = len(refs)
-			fetch = func(i int) ([]byte, error) { return refs[i], nil }
-		}
-		qual, excl, err := e.scanPagesAdaptive(n, workers, lo, hi, fetch, emit)
-		if err != nil {
-			if builder != nil {
-				_ = builder.Abort()
-			}
-			return res, nil, err
-		}
-		res.PagesScanned += n
-		res.Count += qual.Count
-		res.Sum += qual.Sum
-		ext.ObserveExcluded(excl)
-	}
-	e.stats.pagesScanned.Add(uint64(res.PagesScanned))
-
-	if builder == nil {
-		return res, nil, nil
-	}
-	cLo, cHi := ext.Range()
-	srcLo, srcHi := e.set.CoveredInterval(sources, lo, hi)
-	if cLo < srcLo {
-		cLo = srcLo
-	}
-	if cHi > srcHi {
-		cHi = srcHi
-	}
-	cand, err := builder.Finish(cLo, cHi)
-	if err != nil {
-		return res, nil, err
-	}
-	return res, cand, nil
-}
-
-// fullScanCollect is the baseline path of queryCollect; the caller holds
-// the read lock. Pure aggregates go through the storage scan kernel
-// (FullScanParallel); only collecting callers need the page-emitting
-// engine kernel.
-func (e *Engine) fullScanCollect(lo, hi uint64, collect func(uint64, []byte), workers int) (QueryResult, error) {
-	res := QueryResult{ViewsUsed: 1, UsedFullView: true}
-	if collect == nil {
-		var t0 time.Time
-		if e.model != nil {
-			workers = e.model.ScanWorkers(e.col.NumPages(), workers, minParallelScanPages)
-			t0 = time.Now()
-		}
-		count, sum, err := e.col.FullScanParallel(lo, hi, workers)
-		if err != nil {
-			return res, err
-		}
-		if e.model != nil {
-			// Feed the observation back like scanPagesAdaptive: without
-			// it this path's model stays cold forever and the worker
-			// choice degenerates to the static knob.
-			e.model.ObserveScan(e.col.NumPages(), workers, time.Since(t0))
-		}
-		res.Count = count
-		res.Sum = sum
-	} else {
-		full := e.set.Full()
-		qual, _, err := e.scanPagesAdaptive(full.NumPages(), workers, lo, hi, full.PageBytes, collect)
-		if err != nil {
-			return res, err
-		}
-		res.Count = qual.Count
-		res.Sum = qual.Sum
-	}
-	res.PagesScanned = e.col.NumPages()
-	e.stats.pagesScanned.Add(uint64(res.PagesScanned))
-	e.stats.fullViewQueries.Add(1)
-	return res, nil
+	return *ans.Agg, ans.QueryResult, err
 }

@@ -1,0 +1,569 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/asv-db/asv/internal/autopilot"
+	"github.com/asv-db/asv/internal/dist"
+	"github.com/asv-db/asv/internal/viewset"
+	"github.com/asv-db/asv/internal/workload"
+	"github.com/asv-db/asv/internal/xrand"
+)
+
+// TestSnapshotEquivalence is the epoch-path equivalence table: for every
+// registered generator, a full adaptive query sequence must be
+// byte-identical across (a) the Query wrapper on the lock-free epoch
+// path, (b) QueryOpt with no options, and (c) Query on the legacy
+// room-lock path (Config.RoomLockReads) — answers, telemetry, and the
+// adapted view sets. A fourth engine answers every query from a freshly
+// pinned snapshot, which must agree on Count and Sum (snapshots do not
+// adapt, so scan telemetry legitimately differs).
+func TestSnapshotEquivalence(t *testing.T) {
+	const pages = 96
+	queries := workload.SelectivitySweep(13, 30, ccDomain, ccDomain/2, ccDomain/100)
+	for _, name := range dist.Names() {
+		t.Run(name, func(t *testing.T) {
+			g, err := dist.ByName(name, 5, 0, ccDomain, pages)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mk := func(roomLock bool) *Engine {
+				cfg := syncConfig()
+				cfg.RoomLockReads = roomLock
+				return newEngine(t, testColumn(t, pages, g), cfg)
+			}
+			epoch := mk(false)
+			opts := mk(false)
+			room := mk(true)
+			pinned := mk(false)
+			for i, q := range queries {
+				re, err := epoch.Query(q.Lo, q.Hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ao, err := opts.QueryOpt(q.Lo, q.Hi, QueryOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rr, err := room.Query(q.Lo, q.Hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if re != ao.QueryResult {
+					t.Fatalf("query %d [%d,%d]: Query %+v != QueryOpt %+v", i, q.Lo, q.Hi, re, ao.QueryResult)
+				}
+				if re != rr {
+					t.Fatalf("query %d [%d,%d]: epoch %+v != room-lock %+v", i, q.Lo, q.Hi, re, rr)
+				}
+				snap, err := pinned.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				rs, err := snap.Query(q.Lo, q.Hi)
+				if cerr := snap.Close(); cerr != nil {
+					t.Fatal(cerr)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rs.Count != re.Count || rs.Sum != re.Sum {
+					t.Fatalf("query %d [%d,%d]: snapshot count/sum %d/%d != %d/%d",
+						i, q.Lo, q.Hi, rs.Count, rs.Sum, re.Count, re.Sum)
+				}
+			}
+			ve, vo, vr := epoch.Views(), opts.Views(), room.Views()
+			if len(ve) != len(vo) || len(ve) != len(vr) {
+				t.Fatalf("view sets diverged: %d / %d / %d", len(ve), len(vo), len(vr))
+			}
+			for i := range ve {
+				for _, other := range [][]int{{vo[i].NumPages()}, {vr[i].NumPages()}} {
+					if ve[i].NumPages() != other[0] {
+						t.Fatalf("view %d page counts diverged", i)
+					}
+				}
+				if ve[i].Lo() != vo[i].Lo() || ve[i].Hi() != vo[i].Hi() ||
+					ve[i].Lo() != vr[i].Lo() || ve[i].Hi() != vr[i].Hi() {
+					t.Fatalf("view %d ranges diverged", i)
+				}
+			}
+		})
+	}
+}
+
+// TestQuartetWrapperEquivalence pins the satellite contract that the
+// historical quartet stays a zero-behavior-change wrapper over QueryOpt:
+// identical answers AND identical cumulative telemetry after the run.
+func TestQuartetWrapperEquivalence(t *testing.T) {
+	const pages = 64
+	queries := workload.SelectivitySweep(17, 20, ccDomain, ccDomain/3, ccDomain/100)
+	g := dist.NewSine(9, 0, ccDomain, 8)
+
+	wrap := newEngine(t, testColumn(t, pages, g), syncConfig())
+	opt := newEngine(t, testColumn(t, pages, g), syncConfig())
+
+	for i, q := range queries {
+		switch i % 4 {
+		case 0:
+			rw, err := wrap.Query(q.Lo, q.Hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ao, err := opt.QueryOpt(q.Lo, q.Hi, QueryOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rw != ao.QueryResult {
+				t.Fatalf("Query %d: %+v != %+v", i, rw, ao.QueryResult)
+			}
+		case 1:
+			rw, err := wrap.QueryParallel(q.Lo, q.Hi, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ao, err := opt.QueryOpt(q.Lo, q.Hi, QueryOptions{Workers: 3, HasWorkers: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rw != ao.QueryResult {
+				t.Fatalf("QueryParallel %d: %+v != %+v", i, rw, ao.QueryResult)
+			}
+		case 2:
+			rows, rw, err := wrap.QueryRows(q.Lo, q.Hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ao, err := opt.QueryOpt(q.Lo, q.Hi, QueryOptions{CollectRows: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rw != ao.QueryResult || rows.Len() != ao.Rows.Len() {
+				t.Fatalf("QueryRows %d diverged", i)
+			}
+			for _, r := range rows.Rows() {
+				if !ao.Rows.Contains(r) {
+					t.Fatalf("QueryRows %d: row %d missing from options result", i, r)
+				}
+			}
+		case 3:
+			agg, rw, err := wrap.QueryAggregate(q.Lo, q.Hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ao, err := opt.QueryOpt(q.Lo, q.Hi, QueryOptions{ComputeAggregate: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rw != ao.QueryResult || agg != *ao.Agg {
+				t.Fatalf("QueryAggregate %d: %+v/%+v != %+v/%+v", i, rw, agg, ao.QueryResult, *ao.Agg)
+			}
+		}
+	}
+	if sw, so := wrap.Stats(), opt.Stats(); sw != so {
+		t.Fatalf("telemetry diverged:\nwrappers %+v\noptions  %+v", sw, so)
+	}
+}
+
+// TestEpochReadsBypassScanRoom is the pinned acceptance test for the
+// redesign: routed reads no longer acquire the scan room, so a reader
+// completes while a goroutine holds the exclusive room (as alignment,
+// rebuilds and lifecycle work do) — and the same read on the legacy
+// room-lock path demonstrably stalls until the room is released.
+func TestEpochReadsBypassScanRoom(t *testing.T) {
+	const pages = 64
+	g := dist.NewSine(21, 0, ccDomain, 8)
+
+	// Freeze the view set first so the probe query publishes nothing
+	// (publication legitimately serializes behind the exclusive room;
+	// the answer path must not).
+	frozenCfg := syncConfig()
+	frozenCfg.MaxViews = 1
+	eng := newEngine(t, testColumn(t, pages, g), frozenCfg)
+	if _, err := eng.Query(0, ccDomain/10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Query(ccDomain/2, ccDomain/2+ccDomain/10); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.ViewSet().Frozen() {
+		t.Fatal("setup: view set not frozen")
+	}
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+
+	baseline := newEngine(t, testColumn(t, pages, g), BaselineConfig())
+
+	roomCfg := frozenCfg
+	roomCfg.RoomLockReads = true
+	room := newEngine(t, testColumn(t, pages, g), roomCfg)
+	if _, err := room.Query(0, ccDomain/10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := room.Query(ccDomain/2, ccDomain/2+ccDomain/10); err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy each engine's exclusive room, as a mid-alignment flush does.
+	eng.mu.Lock()
+	baseline.mu.Lock()
+	room.mu.Lock()
+
+	probe := func(name string, run func() error) {
+		t.Helper()
+		done := make(chan error, 1)
+		go func() { done <- run() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s: reader stalled behind the exclusive room", name)
+		}
+	}
+	probe("epoch query", func() error {
+		_, err := eng.Query(100, ccDomain/20)
+		return err
+	})
+	probe("snapshot query", func() error {
+		_, err := snap.Query(100, ccDomain/20)
+		return err
+	})
+	probe("baseline query", func() error {
+		_, err := baseline.Query(100, ccDomain/20)
+		return err
+	})
+
+	// The legacy path must block on the occupied room — that contrast is
+	// exactly what the `snapshot` bench panel measures.
+	blocked := make(chan QueryResult, 1)
+	go func() {
+		r, _ := room.Query(100, ccDomain/20)
+		blocked <- r
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("room-lock read completed while the exclusive room was held")
+	case <-time.After(100 * time.Millisecond):
+	}
+	room.mu.Unlock()
+	select {
+	case <-blocked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("room-lock read never completed after release")
+	}
+
+	eng.mu.Unlock()
+	baseline.mu.Unlock()
+}
+
+// TestSnapshotRepeatableReads pins the snapshot contract: a pinned
+// epoch returns identical answers before and after a writer updates and
+// flushes, while live queries observe the new values.
+func TestSnapshotRepeatableReads(t *testing.T) {
+	const pages = 64
+	eng := newEngine(t, testColumn(t, pages, dist.NewUniform(31, 0, ccDomain)), syncConfig())
+	lo, hi := uint64(0), uint64(ccDomain/4)
+
+	before, err := eng.Query(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := snap.Query(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Count != before.Count || first.Sum != before.Sum {
+		t.Fatalf("snapshot disagrees with pre-pin query: %+v vs %+v", first, before)
+	}
+
+	// Move every row in [lo, hi] out of the range, flushing mid-stream so
+	// alignment storms the exclusive room while the snapshot stays pinned.
+	rng := xrand.New(7)
+	for i := 0; i < eng.Column().Rows(); i++ {
+		v, err := eng.Column().Value(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v >= lo && v <= hi {
+			if err := eng.Update(i, hi+1+rng.Uint64n(1000)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%997 == 0 {
+			if _, err := eng.FlushUpdates(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := eng.FlushUpdates(); err != nil {
+		t.Fatal(err)
+	}
+
+	live, err := eng.Query(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Count != 0 {
+		t.Fatalf("live query still sees %d rows in the drained range", live.Count)
+	}
+	again, err := snap.Query(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Count != first.Count || again.Sum != first.Sum {
+		t.Fatalf("pinned read not repeatable: %+v then %+v", first, again)
+	}
+	if err := snap.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEpochRetirementReleasesEvictedViews checks the retire path: a view
+// evicted from the live set stays mapped — and routable — for a pinned
+// snapshot, and its mmap is released only when the pinning epoch drains,
+// with the vmsim mapping count returning to the expected level.
+func TestEpochRetirementReleasesEvictedViews(t *testing.T) {
+	const pages = 64
+	cfg := syncConfig()
+	cfg.MaxViews = 1
+	cfg.Limit = viewset.EvictLRU
+	col := testColumn(t, pages, dist.NewSine(41, 0, ccDomain, 8))
+	eng := newEngine(t, col, cfg)
+
+	r1, err := eng.Query(0, ccDomain/8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Decision != viewset.Inserted {
+		t.Fatalf("setup: first query %v, want inserted", r1.Decision)
+	}
+	v1 := eng.Views()[0]
+	v1Pages := v1.NumPages()
+	want1, err := eng.Query(0, ccDomain/8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A disjoint query evicts v1 (LRU, limit 1).
+	r2, err := eng.Query(ccDomain/2, ccDomain/2+ccDomain/8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Decision != viewset.Evicted {
+		t.Fatalf("second query %v, want evicted", r2.Decision)
+	}
+	if eng.set.Contains(v1) {
+		t.Fatal("v1 still a set member")
+	}
+
+	mappedPinned := col.File().MappedPages()
+	// The pinned epoch still routes to — and scans — the evicted view.
+	got, err := snap.Query(0, ccDomain/8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != want1.Count || got.Sum != want1.Sum || got.PagesScanned != want1.PagesScanned {
+		t.Fatalf("pinned scan of evicted view diverged: %+v vs %+v", got, want1)
+	}
+	if got.UsedFullView {
+		t.Fatal("pinned query fell back to the full view")
+	}
+
+	if err := snap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mappedAfter := col.File().MappedPages()
+	if mappedAfter != mappedPinned-v1Pages {
+		t.Fatalf("evicted view not unmapped on drain: %d -> %d (view had %d pages)",
+			mappedPinned, mappedAfter, v1Pages)
+	}
+}
+
+// TestSnapshotAfterCloseRefused pins the close-path hazard: a snapshot
+// taken after Close would outlive the drain barrier and read column
+// frames the owner is free to release, so the pin must be refused.
+func TestSnapshotAfterCloseRefused(t *testing.T) {
+	eng := newEngine(t, testColumn(t, 16, dist.NewUniform(61, 0, 1000)), syncConfig())
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Snapshot(); err == nil {
+		t.Fatal("snapshot on closed engine succeeded")
+	}
+}
+
+// TestCloseWaitsForFinalStatePins pins the drain barrier's coverage of
+// the CURRENT state: a reader pinned to the state Close publishes (or
+// the one preceding it) must hold Close open until it releases — the
+// facade frees the column's frames right after Engine.Close returns.
+func TestCloseWaitsForFinalStatePins(t *testing.T) {
+	eng := newEngine(t, testColumn(t, 16, dist.NewUniform(71, 0, 1000)), syncConfig())
+	st := eng.acquireState()
+
+	closed := make(chan error, 1)
+	go func() { closed <- eng.Close() }()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a reader pin was outstanding")
+	case <-time.After(100 * time.Millisecond):
+	}
+	eng.releaseState(st)
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close never returned after the pin was released")
+	}
+}
+
+// TestSnapshotRacesAutopilotLifecycle is the -race stress of the
+// satellite checklist: snapshot readers race fire-and-forget writers and
+// an aggressive autopilot lifecycle (eviction + rebuild + warming), and
+// afterwards every retired view mmap and shadow frame must drain —
+// mapping and frame counts return exactly to the column baseline.
+func TestSnapshotRacesAutopilotLifecycle(t *testing.T) {
+	const pages = 96
+	col := testColumn(t, pages, dist.NewSine(51, 0, ccDomain, 8))
+	kernel := col.Kernel()
+	baseFrames := kernel.FramesInUse()
+
+	cfg := syncConfig()
+	cfg.Limit = viewset.EvictLRU
+	cfg.MaxViews = 6
+	cfg.Parallelism = 2
+	cfg.Autopilot = &autopilot.Config{
+		CoalesceCount:    32,
+		MaxFlushLatency:  500 * time.Microsecond,
+		MaintainInterval: time.Millisecond,
+		ColdTicks:        64,
+		RebuildFrag:      0.05,
+		MinRebuildPages:  1,
+		WarmHottest:      2,
+	}
+	eng, err := NewEngine(col, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 16)
+
+	// Snapshot readers: pin, query a few times, re-pin.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := xrand.New(seed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap, err := eng.Snapshot()
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := 0; i < 8; i++ {
+					lo := rng.Uint64n(ccDomain)
+					hi := lo + ccDomain/50
+					if _, err := snap.Query(lo, hi); err != nil {
+						errs <- fmt.Errorf("snapshot query: %w", err)
+						_ = snap.Close()
+						return
+					}
+				}
+				if err := snap.Close(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(100 + uint64(r))
+	}
+	// Live epoch readers keep the temperature clock moving.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := xrand.New(seed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lo := rng.Uint64n(ccDomain)
+				if _, err := eng.Query(lo, lo+ccDomain/40); err != nil {
+					errs <- fmt.Errorf("live query: %w", err)
+					return
+				}
+			}
+		}(200 + uint64(r))
+	}
+	// Fire-and-forget writers force coalesced flush + alignment storms.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := xrand.New(seed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := eng.Update(int(rng.Uint64n(uint64(col.Rows()))), rng.Uint64n(ccDomain)); err != nil {
+					errs <- fmt.Errorf("update: %w", err)
+					return
+				}
+			}
+		}(300 + uint64(w))
+	}
+
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Every partial view released: only the full view's pages remain
+	// mapped, and every copy-on-write shadow frame was returned.
+	if got := col.File().MappedPages(); got != pages {
+		t.Fatalf("mappings did not drain: %d, want %d (full view only)", got, pages)
+	}
+	if got := kernel.FramesInUse(); got != baseFrames {
+		t.Fatalf("frames did not drain: %d, want %d", got, baseFrames)
+	}
+}

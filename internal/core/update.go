@@ -231,7 +231,10 @@ func (e *Engine) alignLocked(batch []Update) (UpdateStats, error) {
 	// batch again.
 	e.gen++
 	if e.set.Len() == 0 {
-		return st, nil
+		// No views to align, but the batch's writes shadowed pages: the
+		// successor state must capture the shadows or readers would keep
+		// answering from the pre-write frames.
+		return st, e.publishStateLocked()
 	}
 
 	// Step 1 (§2.4): filter the sequence so only the last update per row
@@ -287,7 +290,9 @@ func (e *Engine) alignLocked(batch []Update) (UpdateStats, error) {
 	st.AlignDuration = time.Since(t1)
 	e.stats.pagesAdded.Add(uint64(st.PagesAdded))
 	e.stats.pagesRemoved.Add(uint64(st.PagesRemoved))
-	return st, nil
+	// Publish the aligned state: from here on, readers route the
+	// realigned views and the post-write page frames.
+	return st, e.publishStateLocked()
 }
 
 // alignPartials walks every partial view with the §2.4 decision
@@ -366,6 +371,16 @@ func (e *Engine) alignPartials(pages []int, byPage map[int][]Update,
 func (e *Engine) alignView(v *view.View, pages []int, byPage map[int][]Update,
 	bm *procmaps.Bimap, st *UpdateStats) error {
 	a, b := v.Lo(), v.Hi()
+	// The view's soft-TLB array may be shared with a published capture;
+	// clone it before the session's first mutation (and only then — a
+	// view untouched by this batch keeps sharing).
+	cloned := false
+	ensureTLB := func() {
+		if !cloned {
+			v.BeginTLBMutation()
+			cloned = true
+		}
+	}
 	for _, pageID := range pages {
 		ups := byPage[pageID]
 		anyNewIn, anyOldIn := false, false
@@ -384,6 +399,7 @@ func (e *Engine) alignView(v *view.View, pages []int, byPage map[int][]Update,
 			// value of this page into [a, b]; an "unused" virtual page is
 			// available thanks to creation over-allocation.
 			if anyNewIn {
+				ensureTLB()
 				newVPN, err := v.AppendPage(pageID)
 				if err != nil {
 					return err
@@ -392,6 +408,23 @@ func (e *Engine) alignView(v *view.View, pages []int, byPage map[int][]Update,
 				st.PagesAdded++
 			}
 			continue
+		}
+
+		// Indexed dirty page: the batch's writes shadowed it onto a
+		// fresh frame (copy-on-write), so the view's cached translation
+		// — and the page-table entry behind its virtual page — still
+		// reference the frozen pre-write frame. Refresh both before the
+		// keep/remove decision; whatever the decision, a kept page must
+		// serve the post-write bytes in the state published after this
+		// alignment.
+		pg, err := e.col.PageBytes(pageID)
+		if err != nil {
+			return err
+		}
+		ensureTLB()
+		v.RefreshSlot(int(vpn-v.BaseVPN()), pg)
+		if err := e.col.Space().RepointPage(vmsim.VPN(vpn)); err != nil {
+			return err
 		}
 
 		// Case (2): currently indexed.
@@ -407,10 +440,6 @@ func (e *Engine) alignView(v *view.View, pages []int, byPage map[int][]Update,
 		// Some covered value was overwritten and nothing covered was
 		// written: only a full inspection of the page can tell whether it
 		// still holds a value in [a, b].
-		pg, err := e.col.PageBytes(pageID)
-		if err != nil {
-			return err
-		}
 		st.PagesScanned++
 		if s := storage.ScanFilter(pg, a, b); s.Count > 0 {
 			continue

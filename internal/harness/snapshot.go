@@ -1,0 +1,210 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/asv-db/asv/internal/core"
+	"github.com/asv-db/asv/internal/workload"
+)
+
+// snapshotMinWindow is the per-cell measurement window: the alignment
+// storm and the readers overlap for at least this long.
+const snapshotMinWindow = 150 * time.Millisecond
+
+// snapshotWriteGroup is the storm writer's group-commit size; every
+// group is flushed immediately, so each group costs one exclusive-room
+// alignment — the "forced alignment storm".
+const snapshotWriteGroup = 64
+
+// snapshotPinBatch is how many queries a pinned-snapshot reader answers
+// per pin before re-pinning the current epoch.
+const snapshotPinBatch = 32
+
+// RunSnapshot measures what epoch-routed reads buy under a forced
+// alignment storm (beyond the paper): a writer loops group-committed
+// updates and flushes every group, so the exclusive room is held by
+// §2.4 alignment almost continuously, while N reader goroutines fire
+// query streams at the same engine. Rows sweep the reader count; columns
+// compare the legacy room-lock read path (Config.RoomLockReads — readers
+// stall behind every alignment slice), the epoch path (the redesign:
+// readers pin published immutable states and never enter the scan
+// room), and pinned-snapshot readers (Snapshot handles re-pinned every
+// few queries — the never-blocking extreme). The speedup column is
+// epoch vs room-lock; the acceptance bar for the redesign is >= 2x.
+func RunSnapshot(s Scale) (*Table, error) {
+	readerCounts := []int{1, 2, 4, 8}
+	t := &Table{
+		ID: "snapshot",
+		Title: fmt.Sprintf("Reader qps under forced alignment storm, sine distribution, sel %.0f%%, window >= %s (GOMAXPROCS=%d)",
+			concurrentSel*100, snapshotMinWindow, runtime.GOMAXPROCS(0)),
+		Header: []string{"readers", "roomlock_qps", "epoch_qps", "pinned_qps", "epoch_speedup"},
+	}
+	for _, readers := range readerCounts {
+		room, err := runSnapshotCell(s, readers, true, false)
+		if err != nil {
+			return nil, fmt.Errorf("harness: snapshot %d readers room-lock: %w", readers, err)
+		}
+		epoch, err := runSnapshotCell(s, readers, false, false)
+		if err != nil {
+			return nil, fmt.Errorf("harness: snapshot %d readers epoch: %w", readers, err)
+		}
+		pinned, err := runSnapshotCell(s, readers, false, true)
+		if err != nil {
+			return nil, fmt.Errorf("harness: snapshot %d readers pinned: %w", readers, err)
+		}
+		speedup := 0.0
+		if room > 0 {
+			speedup = epoch / room
+		}
+		t.AddRow(itoa(readers), f2(room), f2(epoch), f2(pinned), f2(speedup))
+		s.logf("snapshot: %d reader(s) done", readers)
+	}
+	return t, nil
+}
+
+// runSnapshotCell measures one (readers, read path) cell over s.Runs
+// repetitions on fresh engines, returning the best observed reader
+// throughput while the alignment storm runs.
+func runSnapshotCell(s Scale, readers int, roomLock, pinned bool) (float64, error) {
+	var best float64
+	for run := 0; run < s.Runs; run++ {
+		eng, cleanup, err := mixedEngine(s, func(cfg *core.Config) {
+			cfg.RoomLockReads = roomLock
+		})
+		if err != nil {
+			return 0, err
+		}
+		qps, err := snapshotStorm(s, eng, readers, pinned)
+		cleanup()
+		if err != nil {
+			return 0, err
+		}
+		if qps > best {
+			best = qps
+		}
+	}
+	return best, nil
+}
+
+// snapshotStorm runs the storm writer and the readers against eng for at
+// least snapshotMinWindow and returns the observed reader throughput.
+func snapshotStorm(s Scale, eng *core.Engine, readers int, pinned bool) (float64, error) {
+	writes := workload.ConcurrentUpdaters(s.Seed+21, 1, s.MixedUpdates, eng.Column().Rows(), 0, fig4Domain)[0]
+	readStreams := workload.ConcurrentClients(s.Seed+23, readers, updatesReaderStream, fig4Domain, concurrentSel)
+
+	var (
+		errMu    sync.Mutex
+		firstErr error
+		fail     = func(err error) {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+		}
+		wg          sync.WaitGroup
+		stop        = make(chan struct{})
+		queriesDone atomic.Int64
+	)
+	start := time.Now()
+
+	// The storm: group-commit then flush, every iteration — one
+	// exclusive-room alignment slice per snapshotWriteGroup writes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]core.RowWrite, 0, snapshotWriteGroup)
+		for {
+			for i := 0; i < len(writes); i += snapshotWriteGroup {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				end := i + snapshotWriteGroup
+				if end > len(writes) {
+					end = len(writes)
+				}
+				buf = buf[:0]
+				for _, u := range writes[i:end] {
+					buf = append(buf, core.RowWrite{Row: u.Row, Value: u.Value})
+				}
+				if err := eng.UpdateBatch(buf); err != nil {
+					fail(err)
+					return
+				}
+				if _, err := eng.FlushUpdates(); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(stream []workload.Query) {
+			defer wg.Done()
+			done := 0
+			defer func() { queriesDone.Add(int64(done)) }()
+			if !pinned {
+				for {
+					for _, q := range stream {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if _, err := eng.Query(q.Lo, q.Hi); err != nil {
+							fail(err)
+							return
+						}
+						done++
+					}
+				}
+			}
+			// Pinned mode: answer batches from one epoch, then re-pin.
+			i := 0
+			for {
+				snap, err := eng.Snapshot()
+				if err != nil {
+					fail(err)
+					return
+				}
+				for b := 0; b < snapshotPinBatch; b++ {
+					select {
+					case <-stop:
+						_ = snap.Close()
+						return
+					default:
+					}
+					q := stream[i%len(stream)]
+					i++
+					if _, err := snap.Query(q.Lo, q.Hi); err != nil {
+						fail(err)
+						_ = snap.Close()
+						return
+					}
+					done++
+				}
+				if err := snap.Close(); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(readStreams[r])
+	}
+
+	time.Sleep(snapshotMinWindow)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return float64(queriesDone.Load()) / elapsed.Seconds(), nil
+}

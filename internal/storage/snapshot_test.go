@@ -1,0 +1,132 @@
+package storage
+
+import (
+	"testing"
+
+	"github.com/asv-db/asv/internal/dist"
+	"github.com/asv-db/asv/internal/vmsim"
+)
+
+func cowColumn(t *testing.T, pages int) (*vmsim.Kernel, *Column) {
+	t.Helper()
+	k := vmsim.NewKernel(0)
+	as := k.NewAddressSpace()
+	as.SetMaxMapCount(1 << 30)
+	c, err := NewColumn(k, as, "cow", pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fill(dist.NewUniform(1, 0, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	return k, c
+}
+
+// TestSnapshotCaptureFreezesPages pins the copy-on-write contract: a
+// capture taken before a write keeps the pre-write bytes, the live
+// column sees the post-write bytes, and later writes to the same page in
+// the same epoch stay on the shadow (one displaced frame per page per
+// epoch).
+func TestSnapshotCaptureFreezesPages(t *testing.T) {
+	_, c := cowColumn(t, 4)
+	c.EnableSnapshots()
+
+	before, retired := c.CaptureSnapshot()
+	if len(retired) != 0 {
+		t.Fatalf("fresh column retired %d frames", len(retired))
+	}
+	oldVal, err := c.Value(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SetValue(0, oldVal+1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SetValue(1, 99); err != nil { // same page, same epoch
+		t.Fatal(err)
+	}
+
+	// The capture still reads the frozen original.
+	if got := ValueAt(before[0], 0); got != oldVal {
+		t.Fatalf("capture moved: slot 0 = %d, want %d", got, oldVal)
+	}
+	// The live column reads the shadow.
+	if got, _ := c.Value(0); got != oldVal+1 {
+		t.Fatalf("live read = %d, want %d", got, oldVal+1)
+	}
+	if got, _ := c.Value(1); got != 99 {
+		t.Fatalf("live read = %d, want 99", got)
+	}
+
+	// Exactly one frame was displaced for the one dirty page.
+	after, retired := c.CaptureSnapshot()
+	if len(retired) != 1 {
+		t.Fatalf("retired %d frames, want 1", len(retired))
+	}
+	if got := ValueAt(after[0], 0); got != oldVal+1 {
+		t.Fatalf("new capture = %d, want %d", got, oldVal+1)
+	}
+	// The two captures share untouched pages and differ on the dirty one.
+	if &before[1][0] != &after[1][0] {
+		t.Fatal("untouched page was copied")
+	}
+	if &before[0][0] == &after[0][0] {
+		t.Fatal("dirty page still shared")
+	}
+}
+
+// TestSnapshotEpochShadowsAgain checks that a page shadowed in one epoch
+// is shadowed again in the next — each capture must stay frozen
+// independently.
+func TestSnapshotEpochShadowsAgain(t *testing.T) {
+	k, c := cowColumn(t, 2)
+	c.EnableSnapshots()
+
+	capA, _ := c.CaptureSnapshot()
+	if _, err := c.SetValue(0, 11); err != nil {
+		t.Fatal(err)
+	}
+	capB, retired := c.CaptureSnapshot()
+	if len(retired) != 1 {
+		t.Fatalf("epoch 1 retired %d frames, want 1", len(retired))
+	}
+	if _, err := c.SetValue(0, 22); err != nil {
+		t.Fatal(err)
+	}
+	_, retired2 := c.CaptureSnapshot()
+	if len(retired2) != 1 {
+		t.Fatalf("epoch 2 retired %d frames, want 1", len(retired2))
+	}
+	if got := ValueAt(capB[0], 0); got != 11 {
+		t.Fatalf("middle capture = %d, want 11", got)
+	}
+	if got, _ := c.Value(0); got != 22 {
+		t.Fatalf("live = %d, want 22", got)
+	}
+	_ = capA
+	// Freeing the displaced frames hands them back to the allocator.
+	for _, fr := range append(retired, retired2...) {
+		k.FreeFrame(fr)
+	}
+}
+
+// TestSnapshotsDisabledWritesInPlace pins the baseline behaviour for
+// columns that never enable snapshots (the explicit-index baselines):
+// SetValue writes in place and no frames are displaced.
+func TestSnapshotsDisabledWritesInPlace(t *testing.T) {
+	k, c := cowColumn(t, 2)
+	inUse := k.FramesInUse()
+	pg, err := c.PageBytes(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SetValue(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := ValueAt(pg, 0); got != 7 {
+		t.Fatalf("in-place write not visible through prior page slice: %d", got)
+	}
+	if got := k.FramesInUse(); got != inUse {
+		t.Fatalf("frames allocated on the in-place path: %d -> %d", inUse, got)
+	}
+}

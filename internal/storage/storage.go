@@ -185,17 +185,33 @@ type Column struct {
 	numPages int
 	fullAddr vmsim.Addr
 
-	// tlb caches the resolved page slice per full-view page. The full
-	// view's mapping is immutable for the column's lifetime, so the cache
-	// is exact. As with view.View's soft-TLB, this models the hardware
-	// MMU/TLB: on the paper's system a full-view access costs no software
-	// translation, and charging one per page here would distort every
-	// scan-path comparison (and serialize concurrent mapping against
-	// scanning on the simulated page-table lock). NewColumn resolves every
-	// entry while stamping pageIDs, so after construction PageBytes never
+	// tlb caches the resolved page slice per full-view page. As with
+	// view.View's soft-TLB, this models the hardware MMU/TLB: on the
+	// paper's system a full-view access costs no software translation,
+	// and charging one per page here would distort every scan-path
+	// comparison (and serialize concurrent mapping against scanning on
+	// the simulated page-table lock). NewColumn resolves every entry
+	// while stamping pageIDs, so after construction PageBytes never
 	// writes the cache — which is what lets concurrent scan workers share
 	// a column without any locking.
-	tlb [][]byte
+	//
+	// The array is held behind an atomic pointer because the snapshot
+	// write path (see snapshot.go) hands the current array to published
+	// engine states and installs a private clone before the next
+	// copy-on-write shadow: a handed-out array is immutable from that
+	// moment on, which is what makes epoch readers race-free against
+	// writers. Without EnableSnapshots the pointer never changes after
+	// construction.
+	tlb atomic.Pointer[[][]byte]
+
+	// Snapshot (copy-on-write) state; see snapshot.go. All fields are
+	// inert until EnableSnapshots.
+	snapMu      sync.Mutex // guards cloning, shadowing, and the retired list
+	snapOn      bool
+	snapEpoch   atomic.Uint64
+	pageEpoch   []uint64 // per page: epoch of its last shadow copy
+	cloneNeeded bool     // current tlb array was handed to a state; clone before shadowing
+	retired     []vmsim.FrameID
 }
 
 // NewColumn creates the file, stamps every page's pageID header, and maps
@@ -216,8 +232,9 @@ func NewColumn(k *vmsim.Kernel, as *vmsim.AddressSpace, name string, numPages in
 	c := &Column{
 		kernel: k, as: as, file: f, name: name,
 		numPages: numPages, fullAddr: addr,
-		tlb: make([][]byte, numPages),
 	}
+	arr := make([][]byte, numPages)
+	c.tlb.Store(&arr)
 	for p := 0; p < numPages; p++ {
 		pg, err := c.PageBytes(p)
 		if err != nil {
@@ -345,14 +362,17 @@ func (c *Column) PageBytes(pageID int) ([]byte, error) {
 	if pageID < 0 || pageID >= c.numPages {
 		return nil, fmt.Errorf("storage: page %d out of range [0,%d)", pageID, c.numPages)
 	}
-	if pg := c.tlb[pageID]; pg != nil {
+	if pg := (*c.tlb.Load())[pageID]; pg != nil {
 		return pg, nil
 	}
+	// Cold slot: only reachable during NewColumn's own warming loop (the
+	// constructor resolves every page before the column becomes visible),
+	// so writing the slot here never races a reader.
 	pg, err := c.as.PageData(vmsim.VPN(c.fullAddr>>vmsim.PageShift) + vmsim.VPN(pageID))
 	if err != nil {
 		return nil, err
 	}
-	c.tlb[pageID] = pg
+	(*c.tlb.Load())[pageID] = pg
 	return pg, nil
 }
 
@@ -380,12 +400,18 @@ func (c *Column) Value(row int) (uint64, error) {
 // SetValue writes one row through the full view and returns the previous
 // value — updates "happen through the full views" (§2.4), and the (row,
 // old, new) triple is exactly what the update batches of §2.4 carry.
+//
+// On a column with EnableSnapshots, the first write to a page per
+// snapshot epoch lands on a fresh copy of the page (copy-on-write, see
+// pageForWrite): epoch readers holding the previous capture keep reading
+// the frozen original, which is what makes lock-free routed reads both
+// race-free and repeatable.
 func (c *Column) SetValue(row int, v uint64) (old uint64, err error) {
 	p, s, err := c.RowLocation(row)
 	if err != nil {
 		return 0, err
 	}
-	pg, err := c.PageBytes(p)
+	pg, err := c.pageForWrite(p)
 	if err != nil {
 		return 0, err
 	}

@@ -106,9 +106,17 @@ type SelectResult struct {
 
 // Select answers the conjunction of the given predicates (logical AND) and
 // returns the qualifying row set. Duplicate predicates on the same column
-// are intersected like any others. Predicates are evaluated one column at
+// are intersected like any others.
+//
+// Every involved column is pinned to a snapshot at one catalog instant
+// before the first scan: all predicate evaluations — including several
+// predicates on the same column — observe a single consistent epoch per
+// column, unmoved by concurrent writers or maintenance. Pinning flushes
+// each column's pending updates first, so the snapshot reflects every
+// write applied before the Select. Predicates are evaluated one column at
 // a time with early exit once the intersection is empty; each evaluation
-// adapts that column's view set.
+// still adapts that column's view set as a side product (candidates built
+// from the pinned epoch are discarded if alignment ran since).
 func (t *Table) Select(preds []Predicate) (*SelectResult, error) {
 	if len(preds) == 0 {
 		return nil, fmt.Errorf("table: empty predicate list")
@@ -118,6 +126,30 @@ func (t *Table) Select(preds []Predicate) (*SelectResult, error) {
 	for _, p := range preds {
 		if _, err := t.Engine(p.Column); err != nil {
 			return nil, err
+		}
+	}
+	// Pin the involved columns at one instant, in declaration order for
+	// determinism.
+	snaps := make(map[string]*core.Snapshot)
+	defer func() {
+		for _, s := range snaps {
+			_ = s.Close()
+		}
+	}()
+	for _, cn := range t.colNames {
+		if snaps[cn] != nil {
+			continue
+		}
+		for _, p := range preds {
+			if p.Column != cn {
+				continue
+			}
+			s, err := t.engines[cn].Snapshot()
+			if err != nil {
+				return nil, fmt.Errorf("table: pinning %s: %w", cn, err)
+			}
+			snaps[cn] = s
+			break
 		}
 	}
 	// Evaluate narrower predicates first: their row sets are (heuristically)
@@ -131,17 +163,16 @@ func (t *Table) Select(preds []Predicate) (*SelectResult, error) {
 	out := &SelectResult{}
 	var acc *core.RowSet
 	for _, p := range ordered {
-		eng := t.engines[p.Column]
-		rs, qr, err := eng.QueryRows(p.Lo, p.Hi)
+		ans, err := snaps[p.Column].QueryOptAdapt(p.Lo, p.Hi, core.QueryOptions{CollectRows: true})
 		if err != nil {
 			return nil, fmt.Errorf("table: predicate %s: %w", p, err)
 		}
-		out.PagesScanned += qr.PagesScanned
-		out.ViewsUsed += qr.ViewsUsed
+		out.PagesScanned += ans.PagesScanned
+		out.ViewsUsed += ans.ViewsUsed
 		if acc == nil {
-			acc = rs
+			acc = ans.Rows
 		} else {
-			acc.Intersect(rs)
+			acc.Intersect(ans.Rows)
 		}
 		if acc.Len() == 0 {
 			break

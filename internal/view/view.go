@@ -18,6 +18,7 @@ package view
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"github.com/asv-db/asv/internal/bitvec"
 	"github.com/asv-db/asv/internal/storage"
@@ -55,7 +56,21 @@ type View struct {
 	// AppendPage and RemovePageAt, which maintain it. Every constructor
 	// resolves all mapped slots up front (warmTLB), keeping PageBytes
 	// write-free so concurrent readers share the view without locking.
+	//
+	// Capture discipline: CapturePages may hand the array itself to a
+	// published engine state. From that moment the array is immutable —
+	// every mutation session (update alignment, Warm) must start with
+	// BeginTLBMutation, which installs a private clone. Constructors
+	// produce fresh arrays, so new views need no clone.
 	tlb [][]byte
+
+	// extraRefs counts references beyond the creation (owner) reference:
+	// the logical refcount is extraRefs+1, so the zero value is a view
+	// owned by exactly its creator. Published engine states Retain every
+	// partial view they capture; Release decrements and the caller that
+	// drops the count to zero performs the unmap. Releasing more often
+	// than retaining+1 is a no-op, which makes double-release idempotent.
+	extraRefs atomic.Int32
 }
 
 // NewFull wraps a column's always-present full view. Releasing it is a
@@ -299,12 +314,18 @@ func (v *View) RemovePageAt(slot int) (RemovedPage, error) {
 	}
 	res.FreedVPN = v.BaseVPN() + uint64(last)
 	v.numPages--
-	// Soft-TLB: the hole now resolves to the moved page's frame, whose
-	// cached slice is identical to the old last slot's (frames are
-	// position-independent); the last slot is gone.
+	// Soft-TLB: the hole's slot is re-resolved from the fresh mapping
+	// rather than copied from the old last slot — under the snapshot
+	// write path the moved file page may have been shadowed onto a new
+	// frame since the last slot's translation was cached, and the mmap
+	// above resolved the current frame.
 	if last < len(v.tlb) {
-		if slot < len(v.tlb) {
-			v.tlb[slot] = v.tlb[last]
+		if slot < len(v.tlb) && res.MovedFilePage >= 0 {
+			pg, err := v.col.Space().PageData(vmsim.VPN(v.BaseVPN() + uint64(slot)))
+			if err != nil {
+				return res, err
+			}
+			v.tlb[slot] = pg
 		}
 		v.tlb = v.tlb[:last]
 	}
@@ -319,9 +340,10 @@ func (v *View) RemovePageAt(slot int) (RemovedPage, error) {
 // hot view is scanned again. The caller must hold the engine's exclusive
 // room: Warm writes view state.
 func (v *View) Warm() (int, error) {
-	if v.tlb == nil {
-		v.tlb = make([][]byte, v.numPages)
-	}
+	// Warm mutates TLB slots, and the current array may have been handed
+	// to a published engine state: start a private clone like every
+	// other mutation session.
+	v.BeginTLBMutation()
 	for len(v.tlb) < v.numPages {
 		v.tlb = append(v.tlb, nil)
 	}
@@ -345,10 +367,82 @@ func (v *View) Warm() (int, error) {
 // tools that measure the simulator's software page-walk cost.
 func (v *View) DropTLB() { v.tlb = nil }
 
-// Release unmaps a partial view's entire virtual area. Releasing the full
-// view is a no-op (the column owns it).
+// BeginTLBMutation installs a private clone of the soft-TLB array,
+// detaching it from any capture a published engine state may share
+// (CapturePages). Update alignment calls it once per view before the
+// first AppendPage/RemovePageAt/RefreshSlot of a session; Warm calls it
+// itself. The clone is sized exactly, so a later AppendPage reallocates
+// instead of writing one past the captured length.
+func (v *View) BeginTLBMutation() {
+	clone := make([][]byte, len(v.tlb))
+	copy(clone, v.tlb)
+	v.tlb = clone
+}
+
+// RefreshSlot re-resolves the soft-TLB entry of one mapped slot to the
+// given page bytes. Update alignment uses it for dirty pages a view
+// keeps: under the snapshot write path the page's backing frame may have
+// been shadowed since the slot's translation was cached, and the caller
+// (holding the engine's exclusive room) passes the live bytes resolved
+// through the column. BeginTLBMutation must have started the session.
+func (v *View) RefreshSlot(slot int, pg []byte) {
+	if slot >= 0 && slot < len(v.tlb) {
+		v.tlb[slot] = pg
+	}
+}
+
+// Retain adds one reference to the view. Published engine states retain
+// every partial view they capture so a pinned snapshot can keep scanning
+// a view that has since left the live set; the unmap happens when the
+// last reference is released. Retaining the full view is harmless (its
+// Release is a no-op regardless).
+func (v *View) Retain() { v.extraRefs.Add(1) }
+
+// CapturePages returns the view's resolved soft-TLB — one page slice per
+// mapped slot, in virtual order — as an immutable capture for a
+// published engine state. When the cache is fully resolved the array
+// itself is shared (mutation sessions clone before writing, see
+// BeginTLBMutation); cold slots are resolved into a private copy.
+func (v *View) CapturePages() ([][]byte, error) {
+	n := v.numPages
+	if len(v.tlb) == n {
+		warm := true
+		for i := 0; i < n; i++ {
+			if v.tlb[i] == nil {
+				warm = false
+				break
+			}
+		}
+		if warm {
+			return v.tlb, nil
+		}
+	}
+	out := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		if i < len(v.tlb) && v.tlb[i] != nil {
+			out[i] = v.tlb[i]
+			continue
+		}
+		pg, err := v.col.Space().PageData(vmsim.VPN(v.BaseVPN() + uint64(i)))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = pg
+	}
+	return out, nil
+}
+
+// Release drops one reference; the call that drops the last one unmaps
+// the partial view's entire virtual area. A view starts with exactly its
+// creation reference, so the historical single-owner call sites release
+// as before; engine states add references via Retain. Releasing the full
+// view is a no-op (the column owns it), as is releasing more often than
+// retained — double-release stays idempotent.
 func (v *View) Release() error {
 	if v.full {
+		return nil
+	}
+	if n := v.extraRefs.Add(-1); n != -1 {
 		return nil
 	}
 	if v.capacity == 0 {

@@ -1,0 +1,233 @@
+package viewset
+
+import (
+	"sort"
+
+	"github.com/asv-db/asv/internal/view"
+)
+
+// This file is the snapshot/retire surface of the view set: an immutable
+// capture of the routed state that the engine publishes behind an atomic
+// pointer. Routing over a Snapshot reads only captured ranges, page
+// counts and resolved page slices — never live view fields — so any
+// number of epoch readers may route and scan while the live set is
+// mutated, rebuilt or cleared under the engine's exclusive room.
+
+// SnapView is one view as captured by a Snapshot: the covered range, the
+// resolved soft-TLB pages, and the identity of the live view it was
+// taken from (retained for the capture's lifetime).
+type SnapView struct {
+	view   *view.View
+	lo, hi uint64
+	pages  [][]byte
+	full   bool
+}
+
+// View returns the captured view's identity. Callers must not read live
+// view fields through it on the read path — that is what the captured
+// accessors are for.
+func (sv *SnapView) View() *view.View { return sv.view }
+
+// Lo returns the captured lower bound of the covered range (inclusive).
+func (sv *SnapView) Lo() uint64 { return sv.lo }
+
+// Hi returns the captured upper bound of the covered range (inclusive).
+func (sv *SnapView) Hi() uint64 { return sv.hi }
+
+// NumPages returns the captured number of indexed physical pages.
+func (sv *SnapView) NumPages() int { return len(sv.pages) }
+
+// Full reports whether this is the column's full view.
+func (sv *SnapView) Full() bool { return sv.full }
+
+// Covers reports whether the captured range fully contains [lo, hi].
+func (sv *SnapView) Covers(lo, hi uint64) bool { return sv.lo <= lo && hi <= sv.hi }
+
+// PageBytes returns the i-th captured page. The slice aliases the frozen
+// physical frame the capture resolved — concurrent writers shadow pages
+// onto fresh frames, so the bytes never change under the reader.
+func (sv *SnapView) PageBytes(i int) []byte { return sv.pages[i] }
+
+// Snapshot is an immutable capture of the set's routed state. The
+// capturing engine retains every partial view; ReleaseViews drops those
+// references when the state the snapshot belongs to drains.
+type Snapshot struct {
+	set      *Set
+	full     *SnapView
+	partials []*SnapView
+	frozen   bool
+}
+
+// Snapshot captures the current routed state. fullPages is the column's
+// captured full-view soft-TLB (storage.Column.CaptureSnapshot) — the
+// set's own full view caches translations that go stale under the
+// copy-on-write write path, so the column capture is authoritative.
+// Snapshot is a write-side operation (the engine holds its exclusive
+// room); every partial view is retained until ReleaseViews.
+func (s *Set) Snapshot(fullPages [][]byte) (*Snapshot, error) {
+	snap := &Snapshot{
+		set: s,
+		full: &SnapView{
+			view: s.full, lo: 0, hi: ^uint64(0),
+			pages: fullPages, full: true,
+		},
+		frozen: s.frozen,
+	}
+	snap.partials = make([]*SnapView, 0, len(s.partials))
+	for _, v := range s.partials {
+		pages, err := v.CapturePages()
+		if err != nil {
+			// Undo the retains of the views already captured: a
+			// half-built snapshot is dropped, and leaked references
+			// would keep those views mapped forever.
+			_ = snap.ReleaseViews()
+			return nil, err
+		}
+		v.Retain()
+		snap.partials = append(snap.partials, &SnapView{
+			view: v, lo: v.Lo(), hi: v.Hi(), pages: pages,
+		})
+	}
+	return snap, nil
+}
+
+// ReleaseViews drops the snapshot's references on its partial views —
+// the retire step once the owning engine state has drained. The view
+// whose last reference this was is unmapped here, which is how a view
+// evicted from the live set outlives every pinned reader that can still
+// route to it, and no longer.
+func (s *Snapshot) ReleaseViews() error {
+	var firstErr error
+	for _, sv := range s.partials {
+		if err := sv.view.Release(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Full returns the captured full view.
+func (s *Snapshot) Full() *SnapView { return s.full }
+
+// Partials returns the captured partial views (the caller must not
+// mutate the slice).
+func (s *Snapshot) Partials() []*SnapView { return s.partials }
+
+// Len returns the number of captured partial views.
+func (s *Snapshot) Len() int { return len(s.partials) }
+
+// Frozen reports whether the set had hit its view limit at capture time.
+func (s *Snapshot) Frozen() bool { return s.frozen }
+
+// RouteSingle routes [lo, hi] in single-view mode over the capture:
+// among the captured views fully covering the range, the one indexing
+// the fewest pages (§2.1). The full view always qualifies. Routing hits
+// feed the live set's LRU/temperature accounting, so pinned readers keep
+// views they use warm.
+func (s *Snapshot) RouteSingle(lo, hi uint64) *SnapView {
+	tick := s.set.clock.Add(1)
+	best := s.full
+	for _, sv := range s.partials {
+		if sv.Covers(lo, hi) && sv.NumPages() < best.NumPages() {
+			best = sv
+		}
+	}
+	s.set.touchLive(best.view, tick)
+	return best
+}
+
+// RouteMulti routes [lo, hi] in multi-view mode over the capture,
+// mirroring Set.RouteMulti: greedily pick, among captured views covering
+// the first uncovered point, the one indexing the fewest pages (furthest
+// reach breaks ties). It returns nil when the captured partials cannot
+// cover the range; the caller falls back to RouteSingle.
+func (s *Snapshot) RouteMulti(lo, hi uint64) []*SnapView {
+	tick := s.set.clock.Add(1)
+	var out []*SnapView
+	c := lo
+	for {
+		var best *SnapView
+		for _, sv := range s.partials {
+			if sv.lo <= c && c <= sv.hi {
+				if best == nil || sv.NumPages() < best.NumPages() ||
+					(sv.NumPages() == best.NumPages() && sv.hi > best.hi) {
+					best = sv
+				}
+			}
+		}
+		if best == nil {
+			return nil
+		}
+		out = append(out, best)
+		s.set.touchLive(best.view, tick)
+		if best.hi >= hi {
+			return out
+		}
+		c = best.hi + 1 // best.hi < hi <= MaxUint64: no overflow
+	}
+}
+
+// CoveredInterval returns the maximal contiguous value interval
+// containing [lo, hi] that the given captured sources cover in
+// conjunction — the capture-side counterpart of Set.CoveredInterval,
+// clamping candidate-range extension (§2.2).
+func (s *Snapshot) CoveredInterval(sources []*SnapView, lo, hi uint64) (uint64, uint64) {
+	ivs := make([]valueInterval, 0, len(sources))
+	for _, sv := range sources {
+		ivs = append(ivs, valueInterval{sv.lo, sv.hi})
+	}
+	return coveredInterval(ivs, lo, hi)
+}
+
+// touchLive records a routing hit for a view that is still tracked by
+// the live set's temperature accounting. Unlike touch it never
+// resurrects an entry: a snapshot may route to a view that was evicted
+// from the live set after the capture, and its usage record is gone for
+// good.
+func (s *Set) touchLive(v *view.View, tick uint64) {
+	if v.Full() {
+		return
+	}
+	s.lruMu.Lock()
+	if u, ok := s.usage[v]; ok {
+		u.uses++
+		if tick > u.last {
+			u.last = tick
+		}
+		s.usage[v] = u
+	}
+	s.lruMu.Unlock()
+}
+
+// valueInterval is one captured [lo, hi] range.
+type valueInterval struct{ lo, hi uint64 }
+
+// coveredInterval merges overlapping or adjacent intervals and returns
+// the merged interval containing [lo, hi], or [lo, hi] itself when the
+// sources do not contiguously cover the query.
+func coveredInterval(ivs []valueInterval, lo, hi uint64) (uint64, uint64) {
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	var cur valueInterval
+	have := false
+	for _, x := range ivs {
+		if !have {
+			cur, have = x, true
+			continue
+		}
+		adjacent := x.lo <= cur.hi || (cur.hi != ^uint64(0) && x.lo == cur.hi+1)
+		if adjacent {
+			if x.hi > cur.hi {
+				cur.hi = x.hi
+			}
+			continue
+		}
+		if cur.lo <= lo && hi <= cur.hi {
+			return cur.lo, cur.hi
+		}
+		cur = x
+	}
+	if have && cur.lo <= lo && hi <= cur.hi {
+		return cur.lo, cur.hi
+	}
+	return lo, hi
+}

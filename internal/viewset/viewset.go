@@ -21,7 +21,6 @@ package viewset
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -430,37 +429,11 @@ func (s *Set) Temperatures() []Temperature {
 // engine clamps candidate-range extension to this interval: pages outside
 // it were never scanned, so nothing may be claimed about them (§2.2).
 func (s *Set) CoveredInterval(sources []*view.View, lo, hi uint64) (uint64, uint64) {
-	type iv struct{ lo, hi uint64 }
-	ivs := make([]iv, 0, len(sources))
+	ivs := make([]valueInterval, 0, len(sources))
 	for _, v := range sources {
-		ivs = append(ivs, iv{v.Lo(), v.Hi()})
+		ivs = append(ivs, valueInterval{v.Lo(), v.Hi()})
 	}
-	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
-	// Merge overlapping or adjacent intervals, keeping the one that
-	// contains [lo, hi].
-	var cur iv
-	have := false
-	for _, x := range ivs {
-		if !have {
-			cur, have = x, true
-			continue
-		}
-		adjacent := x.lo <= cur.hi || (cur.hi != ^uint64(0) && x.lo == cur.hi+1)
-		if adjacent {
-			if x.hi > cur.hi {
-				cur.hi = x.hi
-			}
-			continue
-		}
-		if cur.lo <= lo && hi <= cur.hi {
-			return cur.lo, cur.hi
-		}
-		cur = x
-	}
-	if have && cur.lo <= lo && hi <= cur.hi {
-		return cur.lo, cur.hi
-	}
-	// Sources do not contiguously cover the query (routing bug or caller
-	// misuse): claim nothing beyond the query itself.
-	return lo, hi
+	// Sources that do not contiguously cover the query (routing bug or
+	// caller misuse) claim nothing beyond the query itself.
+	return coveredInterval(ivs, lo, hi)
 }

@@ -424,6 +424,36 @@ func mergeable(a, b *VMA) bool {
 	return a.filePage+a.Pages() == b.filePage
 }
 
+// RepointPage refreshes the page-table entry of vpn to the backing
+// file's current frame. After File.ReplacePageFrame swapped a frame
+// behind a file page (copy-on-write), translations resolved before the
+// swap still reference the displaced frame; owners of such mappings call
+// RepointPage for the virtual pages they know map the replaced file
+// page. It is a no-op when vpn lies outside any VMA, the VMA is
+// anonymous, or the entry already points at the current frame. Unlike
+// MmapFileFixed it touches no VMA state, so it is cheap and never splits
+// or merges areas.
+func (as *AddressSpace) RepointPage(vpn VPN) error {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	v := as.vmas.containing(vpn)
+	if v == nil || v.file == nil {
+		return nil
+	}
+	fr, err := v.file.frame(v.filePage + int(vpn-v.start))
+	if err != nil {
+		return err
+	}
+	// Only refresh a present entry: file pages are populated eagerly at
+	// map time, so an absent entry means the file shrank under the
+	// mapping — installing one here would skew the file's mapped-page
+	// refcount.
+	if cur, ok := as.pt.get(vpn); ok && cur != fr {
+		as.pt.set(vpn, fr)
+	}
+	return nil
+}
+
 // Translate returns the physical frame backing vpn, if present in the page
 // table. Anonymous pages that were never touched are absent.
 func (as *AddressSpace) Translate(vpn VPN) (FrameID, bool) {

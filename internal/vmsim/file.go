@@ -159,7 +159,10 @@ func (f *File) frame(i int) (FrameID, error) {
 	return f.frames[i], nil
 }
 
-// frameRange validates pages [first, first+n) and returns their frames.
+// frameRange validates pages [first, first+n) and returns a copy of
+// their frames. The copy matters: ReplacePageFrame rewrites frame slots
+// in place (copy-on-write shadows), and callers walk the returned slice
+// outside the file lock.
 func (f *File) frameRange(first, n int) ([]FrameID, error) {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
@@ -167,7 +170,7 @@ func (f *File) frameRange(first, n int) ([]FrameID, error) {
 		return nil, fmt.Errorf("%w: pages [%d,%d) of %d-page file %q",
 			ErrBadFileRange, first, first+n, len(f.frames), f.name)
 	}
-	return f.frames[first : first+n], nil
+	return append([]FrameID(nil), f.frames[first:first+n]...), nil
 }
 
 // PageData returns the 4 KiB contents of file page i, bypassing any
@@ -180,4 +183,33 @@ func (f *File) PageData(i int) ([]byte, error) {
 		return nil, err
 	}
 	return f.kernel.frameData(fr), nil
+}
+
+// ReplacePageFrame installs a fresh physical frame behind file page i,
+// initialized with a copy of the page's current contents, and returns the
+// displaced frame — the copy-on-write primitive of the snapshot write
+// path. The old frame is NOT returned to the allocator: readers holding
+// translations resolved before the replacement keep reading its (now
+// frozen) contents, and the caller frees it via Kernel.FreeFrame once no
+// such reader can remain. Existing page-table entries still point at the
+// old frame; callers repoint the translations they own (see
+// AddressSpace.RepointPage) — future mmaps of the page resolve to the new
+// frame automatically.
+func (f *File) ReplacePageFrame(i int) (old FrameID, data []byte, err error) {
+	nf, err := f.kernel.allocFrame()
+	if err != nil {
+		return 0, nil, err
+	}
+	f.mu.Lock()
+	if i < 0 || i >= len(f.frames) {
+		f.mu.Unlock()
+		f.kernel.freeFrame(nf)
+		return 0, nil, fmt.Errorf("%w: page %d of %d-page file %q", ErrBadFileRange, i, len(f.frames), f.name)
+	}
+	old = f.frames[i]
+	data = f.kernel.frameData(nf)
+	copy(data, f.kernel.frameData(old))
+	f.frames[i] = nf
+	f.mu.Unlock()
+	return old, data, nil
 }

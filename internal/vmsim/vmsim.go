@@ -147,6 +147,13 @@ func (k *Kernel) freeFrame(f FrameID) {
 	k.mu.Unlock()
 }
 
+// FreeFrame returns a frame displaced by File.ReplacePageFrame to the
+// allocator. The caller asserts that no reader can still hold a
+// translation or page slice resolved to the frame — the storage layer's
+// epoch machinery frees retired frames only after every state that could
+// reference them has drained.
+func (k *Kernel) FreeFrame(f FrameID) { k.freeFrame(f) }
+
 // frameData returns the 4 KiB backing slice of frame f. The slice stays
 // valid for the lifetime of the kernel (chunks are never moved).
 func (k *Kernel) frameData(f FrameID) []byte {

@@ -1,0 +1,107 @@
+package asv
+
+import (
+	"github.com/asv-db/asv/internal/core"
+)
+
+// This file is the options-based read surface: one QueryOpt entry point
+// the historical Query/QueryParallel/QueryRows/QueryAggregate quartet
+// now wraps, and the Snapshot handle for pinned-epoch reads.
+
+// QueryOption configures a QueryOpt call; see Rows, Aggregate, Workers.
+type QueryOption func(*core.QueryOptions)
+
+// Rows requests materialization of the qualifying row IDs into
+// QueryAnswer.Rows.
+func Rows() QueryOption {
+	return func(o *core.QueryOptions) { o.CollectRows = true }
+}
+
+// Aggregate requests count/sum/min/max over the qualifying values into
+// QueryAnswer.Agg.
+func Aggregate() QueryOption {
+	return func(o *core.QueryOptions) { o.ComputeAggregate = true }
+}
+
+// Workers overrides the scan worker count for this query: a positive n
+// selects exactly n page-sharded workers, n <= 0 selects GOMAXPROCS.
+// Without this option the column's Config.Parallelism applies. Worker
+// count never changes answers or adaptive side effects — shards reduce
+// in page order with commutative aggregates.
+func Workers(n int) QueryOption {
+	return func(o *core.QueryOptions) { o.Workers, o.HasWorkers = n, true }
+}
+
+// QueryAnswer is the unified result of QueryOpt: the telemetry every
+// query reports (embedded Result), plus the materializations the options
+// asked for — Rows and Agg are nil unless requested.
+type QueryAnswer = core.Answer
+
+// QueryOpt answers the inclusive range query [lo, hi] according to the
+// options, adapting the view set as a side product exactly like Query:
+//
+//	ans, err := col.QueryOpt(lo, hi, asv.Rows(), asv.Aggregate(), asv.Workers(4))
+//	// ans.Count, ans.PagesScanned, ans.Rows, ans.Agg
+//
+// Reads are epoch-routed and lock-free: the query pins the currently
+// published engine state and scans its immutable capture, so alignment,
+// rebuilds and autopilot maintenance never stall readers. Updates
+// buffered at entry are flushed first; a write racing in afterwards is
+// serialized after this query.
+func (c *Column) QueryOpt(lo, hi uint64, opts ...QueryOption) (QueryAnswer, error) {
+	var o core.QueryOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return c.eng.QueryOpt(lo, hi, o)
+}
+
+// Snapshot pins the column's current engine epoch and returns a handle
+// whose queries all observe exactly that instant — repeatable,
+// never-blocking reads. See Column.Snapshot for the semantics.
+type Snapshot struct {
+	col  *Column
+	snap *core.Snapshot
+}
+
+// Snapshot pins the current epoch. The snapshot reflects every write
+// applied to the column before the call (pending updates are flushed
+// first); writes and view maintenance after it are invisible through the
+// handle, and its queries never block on writers, alignment or the
+// autopilot. What a snapshot does NOT pin: engine statistics, the
+// column's catalog registration, and adaptive side effects of other
+// readers — it is a read view, not a transaction.
+//
+// Close the handle when done: an open snapshot keeps its epoch's views
+// and page frames alive, and Column.Close blocks until every snapshot is
+// closed.
+func (c *Column) Snapshot() (*Snapshot, error) {
+	s, err := c.eng.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{col: c, snap: s}, nil
+}
+
+// Query answers [lo, hi] from the pinned epoch. Identical queries on one
+// snapshot return identical answers regardless of concurrent writes.
+func (s *Snapshot) Query(lo, hi uint64) (Result, error) {
+	return s.snap.Query(lo, hi)
+}
+
+// QueryOpt answers [lo, hi] from the pinned epoch with options. Snapshot
+// reads are pure: no candidate views are built and no view-set state
+// changes, so the answer's CandidateBuilt is always false.
+func (s *Snapshot) QueryOpt(lo, hi uint64, opts ...QueryOption) (QueryAnswer, error) {
+	var o core.QueryOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return s.snap.QueryOpt(lo, hi, o)
+}
+
+// Views returns the number of partial views captured by the pinned epoch.
+func (s *Snapshot) Views() int { return s.snap.Views() }
+
+// Close releases the pin; idempotent.
+func (s *Snapshot) Close() error { return s.snap.Close() }
