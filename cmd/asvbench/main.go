@@ -117,6 +117,9 @@ var experiments = []experiment{
 	{"snapshot", "reader qps under forced alignment storm: room-lock vs epoch vs pinned-snapshot reads (beyond the paper)", func(s harness.Scale) ([]*harness.Table, error) {
 		return one(harness.RunSnapshot(s))
 	}},
+	{"manyviews", "many-views scaling: batched creation, delta publication latency, first-touch reads over lazy views (beyond the paper)", func(s harness.Scale) ([]*harness.Table, error) {
+		return one(harness.RunManyViews(s))
+	}},
 }
 
 func main() {

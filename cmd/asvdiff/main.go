@@ -51,12 +51,13 @@ func isRateColumn(name string) bool {
 }
 
 // latencySuffixes mark gated lower-is-better columns: the autopilot
-// panel's tail flush latency. A rise beyond -max-regress percent is a
-// regression, mirroring the throughput rule with the sign flipped.
-// Plain informational durations keep the bare `_ms` suffix (p50 stays
+// panel's tail flush latency and the many-views panel's publication
+// latency. A rise beyond -max-regress percent is a regression,
+// mirroring the throughput rule with the sign flipped. Plain
+// informational durations keep the bare `_ms` suffix (p50 stays
 // ungated: medians under coalescing legitimately swing with batch
 // shape; the latency *bound* is a tail property).
-var latencySuffixes = []string{"_p99_ms"}
+var latencySuffixes = []string{"_p99_ms", "_pub_ms"}
 
 func isLatencyColumn(name string) bool {
 	for _, s := range latencySuffixes {

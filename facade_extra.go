@@ -64,6 +64,20 @@ func (c *Column) QueryAggregate(lo, hi uint64) (AggregateResult, Result, error) 
 	return *ans.Agg, ans.QueryResult, err
 }
 
+// ViewRange is one requested [Lo, Hi] of a CreateViews call.
+type ViewRange = core.ViewRange
+
+// CreateViews builds one partial view per requested range in a single
+// column pass and publishes them in one state swap — semantically the
+// same views as calling CreateView per range, at the cost of one
+// qualification scan and one publication. Use it to stand up large view
+// sets (the many-views experiments create thousands this way). On error
+// nothing is inserted.
+func (c *Column) CreateViews(ranges []ViewRange) error {
+	_, err := c.eng.CreateViewsBatch(ranges)
+	return err
+}
+
 // WriteTo serializes the column's data pages (views are an adaptive cache
 // and are not persisted).
 func (c *Column) WriteTo(w io.Writer) (int64, error) { return c.col.WriteTo(w) }

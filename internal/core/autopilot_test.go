@@ -389,7 +389,13 @@ func TestAutopilotWarmView(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Lazy creation leaves every slot cold; the first warm materializes
+	// the view in full, and a second warm finds nothing to do.
 	n, err := pilotTarget{e}.WarmView(v)
+	if err != nil || n != v.NumPages() {
+		t.Fatalf("warm view warmed %d, %v; want %d", n, err, v.NumPages())
+	}
+	n, err = pilotTarget{e}.WarmView(v)
 	if err != nil || n != 0 {
 		t.Fatalf("warm view warmed %d, %v; want 0", n, err)
 	}

@@ -103,6 +103,18 @@ type Config struct {
 	ReplaceTolerance int
 	// Create selects the §2.3 view-creation optimizations.
 	Create view.CreateOptions
+	// LazyViews defers view materialization to first access: creation
+	// records which physical page backs each slot and returns without
+	// mapping anything; a slot's demand mmap and soft-TLB resolution
+	// happen on the first query that touches it (fault-driven
+	// materialization, see internal/view/lazy.go). Creation then costs
+	// the qualification scan plus one virtual reservation regardless of
+	// how many pages qualify, and views that are created but never
+	// queried never map a page. Sets Create.Lazy on every engine-built
+	// view; update alignment and explicit warming still materialize in
+	// full. On by default — set Create explicitly and leave LazyViews
+	// false to reproduce the eager creation path.
+	LazyViews bool
 	// MapperQueueCap sizes the concurrent queue feeding the mapping
 	// thread (<= 0 selects 1024).
 	MapperQueueCap int
@@ -156,6 +168,7 @@ func DefaultConfig() Config {
 		Mode:           SingleView,
 		MaxViews:       100,
 		Create:         view.AllOptimizations,
+		LazyViews:      true,
 		MapperQueueCap: 1024,
 		Adaptive:       true,
 	}

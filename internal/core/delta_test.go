@@ -1,0 +1,384 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/asv-db/asv/internal/dist"
+	"github.com/asv-db/asv/internal/view"
+	"github.com/asv-db/asv/internal/workload"
+)
+
+// republishFresh drops the delta-capture cache and publishes a fully
+// fresh (non-delta) state — the reference the delta path must match.
+func republishFresh(t *testing.T, e *Engine) {
+	t.Helper()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.set.ResetCaptureCache(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.publishStateLocked(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaPublicationEquivalence drives every generator through an
+// interleaved query/update workload — each flush publishes a structural
+// delta over its predecessor — then forces a full from-scratch capture
+// and replays the probes: the delta-built state must answer exactly like
+// the rebuilt one.
+func TestDeltaPublicationEquivalence(t *testing.T) {
+	const pages = 96
+	probes := workload.SelectivitySweep(13, 30, ccDomain, ccDomain/2, ccDomain/100)
+	for _, name := range dist.Names() {
+		t.Run(name, func(t *testing.T) {
+			g, err := dist.ByName(name, 5, 0, ccDomain, pages)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := newEngine(t, testColumn(t, pages, g), syncConfig())
+			ups := workload.UniformUpdates(77, 240, e.Column().Rows(), 0, ccDomain)
+
+			// Interleave: queries grow the view set, update batches flush
+			// between them so successive publications are deltas over a
+			// mutating set.
+			for i, q := range probes {
+				if _, err := e.Query(q.Lo, q.Hi); err != nil {
+					t.Fatal(err)
+				}
+				for _, u := range ups[i*8 : (i+1)*8] {
+					if err := e.Update(u.Row, u.Value); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if _, err := e.FlushUpdates(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			before := make([]QueryResult, len(probes))
+			for i, q := range probes {
+				r, err := e.Query(q.Lo, q.Hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				before[i] = r
+			}
+			republishFresh(t, e)
+			for i, q := range probes {
+				r, err := e.Query(q.Lo, q.Hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.Count != before[i].Count || r.Sum != before[i].Sum {
+					t.Fatalf("probe %d [%d,%d]: delta state %d/%d != fresh state %d/%d",
+						i, q.Lo, q.Hi, before[i].Count, before[i].Sum, r.Count, r.Sum)
+				}
+			}
+		})
+	}
+}
+
+// TestLazyEagerScanEquivalence runs the same workload on a lazy-views
+// engine and an eager-views engine over identically generated columns:
+// every answer and, at the end, every view's resolved page bytes must be
+// identical — fault-driven materialization may defer mapping work but
+// never change what a scan reads.
+func TestLazyEagerScanEquivalence(t *testing.T) {
+	const pages = 96
+	probes := workload.SelectivitySweep(17, 25, ccDomain, ccDomain/2, ccDomain/100)
+	for _, name := range dist.Names() {
+		t.Run(name, func(t *testing.T) {
+			g, err := dist.ByName(name, 5, 0, ccDomain, pages)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mk := func(lazy bool) *Engine {
+				cfg := syncConfig()
+				cfg.LazyViews = lazy
+				return newEngine(t, testColumn(t, pages, g), cfg)
+			}
+			lazyE, eagerE := mk(true), mk(false)
+			ups := workload.UniformUpdates(33, 200, lazyE.Column().Rows(), 0, ccDomain)
+
+			for i, q := range probes {
+				rl, err := lazyE.Query(q.Lo, q.Hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				re, err := eagerE.Query(q.Lo, q.Hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rl.Count != re.Count || rl.Sum != re.Sum {
+					t.Fatalf("probe %d [%d,%d]: lazy %d/%d != eager %d/%d",
+						i, q.Lo, q.Hi, rl.Count, rl.Sum, re.Count, re.Sum)
+				}
+				for _, u := range ups[i*8 : (i+1)*8] {
+					if err := lazyE.Update(u.Row, u.Value); err != nil {
+						t.Fatal(err)
+					}
+					if err := eagerE.Update(u.Row, u.Value); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if _, err := lazyE.FlushUpdates(); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := eagerE.FlushUpdates(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			lv, ev := lazyE.Views(), eagerE.Views()
+			if len(lv) != len(ev) {
+				t.Fatalf("view counts diverged: lazy %d, eager %d", len(lv), len(ev))
+			}
+			for i := range lv {
+				if lv[i].NumPages() != ev[i].NumPages() {
+					t.Fatalf("view %d page counts diverged: %d vs %d",
+						i, lv[i].NumPages(), ev[i].NumPages())
+				}
+				for p := 0; p < lv[i].NumPages(); p++ {
+					lp, err := lv[i].PageBytes(p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ep, err := ev[i].PageBytes(p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(lp, ep) {
+						t.Fatalf("view %d page %d bytes diverged", i, p)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEpochManyViewsStorm races view creation, adaptive eviction,
+// snapshot pins and delta publications against each other: the
+// copy-on-write capture table's reference discipline must keep every
+// pinned reader consistent while chunks are shared, rebuilt and retired
+// underneath it. Run under -race in CI with fresh schedules.
+func TestEpochManyViewsStorm(t *testing.T) {
+	const pages = 64
+	cfg := syncConfig()
+	cfg.MaxViews = 8
+	cfg.Limit = EvictLRU
+	e := newEngine(t, testColumn(t, pages, dist.NewUniform(7, 0, ccDomain)), cfg)
+
+	errs := make(chan error, 16)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	spawn := func(fn func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := fn(); err != nil {
+				errs <- err
+			}
+		}()
+	}
+
+	// Writers: single-row batches, each flush a delta publication.
+	ups := workload.UniformUpdates(21, 300, e.Column().Rows(), 0, ccDomain)
+	spawn(func() error {
+		for _, u := range ups {
+			if err := e.Update(u.Row, u.Value); err != nil {
+				return err
+			}
+			if _, err := e.FlushUpdates(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	// Adaptive readers: candidate creation and LRU eviction churn the
+	// set's membership, so chunk reuse and rebuild keep alternating.
+	for r := 0; r < 2; r++ {
+		probes := workload.SelectivitySweep(uint64(40+r), 200, ccDomain, ccDomain/3, ccDomain/200)
+		spawn(func() error {
+			for _, q := range probes {
+				if _, err := e.Query(q.Lo, q.Hi); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	// Explicit creators: direct inserts race the limit; a full set is an
+	// expected outcome, not a failure.
+	spawn(func() error {
+		for i := 0; i < 60; i++ {
+			lo := uint64(i%10) * (ccDomain / 12)
+			if _, err := e.CreateView(lo, lo+ccDomain/15); err != nil &&
+				!strings.Contains(err.Error(), "view limit") {
+				return err
+			}
+		}
+		return nil
+	})
+	// Snapshot readers: pin epochs mid-storm and hold them across a few
+	// queries, so retirement always has a non-trivial drain to wait on.
+	spawn(func() error {
+		for i := 0; i < 80; i++ {
+			snap, err := e.Snapshot()
+			if err != nil {
+				return err
+			}
+			first, err := snap.Query(0, ccDomain)
+			if err == nil {
+				var again QueryResult
+				if again, err = snap.Query(0, ccDomain); err == nil &&
+					(again.Count != first.Count || again.Sum != first.Sum) {
+					err = fmt.Errorf("pinned reads diverged: %d/%d then %d/%d",
+						first.Count, first.Sum, again.Count, again.Sum)
+				}
+			}
+			if cerr := snap.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// After the storm the engine still answers exactly.
+	wantCount, wantSum, err := e.Column().FullScan(0, ccDomain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Query(0, ccDomain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != wantCount || got.Sum != wantSum {
+		t.Fatalf("post-storm answer %d/%d, want %d/%d", got.Count, got.Sum, wantCount, wantSum)
+	}
+}
+
+// TestClosePendingRetiredFreed is the satellite-1 regression test: a
+// failed publication parks the displaced frames in pendingRetired; Close
+// — even with the publication path still failing — must free every one
+// of them and drop the capture cache's view retains, leaving physical
+// memory exactly where it started.
+func TestClosePendingRetiredFreed(t *testing.T) {
+	const pages = 64
+	col := testColumn(t, pages, dist.NewLinear(5, 0, ccDomain, pages))
+	e, err := NewEngine(col, syncConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One view over the whole domain: every update dirties it, so any
+	// publication after a write needs a fresh capture — which the hook
+	// then fails.
+	if _, err := e.CreateView(0, ccDomain); err != nil {
+		t.Fatal(err)
+	}
+	base := col.Kernel().MemStats()
+
+	boom := errors.New("injected capture failure")
+	e.set.SetCaptureHook(func(*view.View) ([][]byte, error) { return nil, boom })
+	ups := workload.UniformUpdates(9, 40, col.Rows(), 0, ccDomain)
+	for _, u := range ups {
+		if err := e.Update(u.Row, u.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.FlushUpdates(); !errors.Is(err, boom) {
+		t.Fatalf("flush error = %v, want injected capture failure", err)
+	}
+	e.mu.Lock()
+	parked := len(e.pendingRetired)
+	e.mu.Unlock()
+	if parked == 0 {
+		t.Fatal("failed publication parked no displaced frames")
+	}
+	if ms := col.Kernel().MemStats(); ms.FramesInUse <= base.FramesInUse {
+		t.Fatalf("copy-on-write writes did not grow frame usage (%d -> %d)",
+			base.FramesInUse, ms.FramesInUse)
+	}
+
+	// Close with the publication path still failing: the final-drain
+	// sweep must free the parked frames anyway.
+	if err := e.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	e.mu.Lock()
+	left := len(e.pendingRetired)
+	e.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d pending-retired frames survived Close", left)
+	}
+	if ms := col.Kernel().MemStats(); ms.FramesInUse != base.FramesInUse {
+		t.Fatalf("frame leak across Close: %d in use, want %d",
+			ms.FramesInUse, base.FramesInUse)
+	}
+}
+
+// TestRetireErrorsSurfaced is the satellite-2 regression test: a view
+// release that fails during state retirement must be counted in Stats
+// and reported by Engine.Close instead of vanishing into the reclaim
+// walk.
+func TestRetireErrorsSurfaced(t *testing.T) {
+	const pages = 64
+	col := testColumn(t, pages, dist.NewLinear(5, 0, ccDomain, pages))
+	e, err := NewEngine(col, syncConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CreateView(0, ccDomain); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("injected release failure")
+	e.set.SetReleaseViewHook(func(v *view.View) error {
+		if err := v.Release(); err != nil {
+			return err
+		}
+		return boom
+	})
+
+	// Pin the current state, dirty the view and publish a successor: the
+	// pinned state's capture is now the last holder of the old SnapView,
+	// so closing the pin drains it through the failing release.
+	snap, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := workload.UniformUpdates(9, 20, col.Rows(), 0, ccDomain)
+	for _, u := range ups {
+		if err := e.Update(u.Row, u.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.FlushUpdates(); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().RetireErrors; got == 0 {
+		t.Fatal("failed retirement release not counted in Stats.RetireErrors")
+	}
+	if err := e.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close = %v, want the swallowed retirement error", err)
+	}
+}

@@ -192,5 +192,12 @@ func (t pilotTarget) WarmView(h any) (int, error) {
 	if !ok || e.closed || !e.set.Contains(v) {
 		return 0, nil
 	}
-	return v.Warm()
+	n, err := v.Warm()
+	if n > 0 {
+		// Warming re-resolved translations (and may have materialized a
+		// lazy view): the cached capture no longer matches the view's
+		// resolved state, so the next publication must re-capture it.
+		e.set.MarkDirty(v)
+	}
+	return n, err
 }

@@ -161,7 +161,10 @@ func TestQuartetWrapperEquivalence(t *testing.T) {
 			}
 		}
 	}
-	if sw, so := wrap.Stats(), opt.Stats(); sw != so {
+	sw, so := wrap.Stats(), opt.Stats()
+	// Publication wall time is the one nondeterministic counter.
+	sw.PublishNanos, so.PublishNanos = 0, 0
+	if sw != so {
 		t.Fatalf("telemetry diverged:\nwrappers %+v\noptions  %+v", sw, so)
 	}
 }
@@ -337,6 +340,10 @@ func TestEpochRetirementReleasesEvictedViews(t *testing.T) {
 	cfg := syncConfig()
 	cfg.MaxViews = 1
 	cfg.Limit = viewset.EvictLRU
+	// Eager creation: the test observes the evicted view's file mappings
+	// disappearing on drain, so its pages must be mapped up front (a lazy
+	// view that is never touched maps nothing and unmapping is a no-op).
+	cfg.LazyViews = false
 	col := testColumn(t, pages, dist.NewSine(41, 0, ccDomain, 8))
 	eng := newEngine(t, col, cfg)
 

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"sync/atomic"
+	"time"
 
 	"github.com/asv-db/asv/internal/viewset"
 	"github.com/asv-db/asv/internal/vmsim"
@@ -135,6 +136,7 @@ func (e *Engine) releaseState(st *engineState) {
 // with a publication; between publications the current state is
 // immutable by construction.
 func (e *Engine) publishStateLocked() error {
+	t0 := time.Now()
 	fullPages, retired := e.col.CaptureSnapshot()
 	retired = append(retired, e.pendingRetired...)
 	e.pendingRetired = nil
@@ -153,6 +155,8 @@ func (e *Engine) publishStateLocked() error {
 	old.next = st
 	e.state.Store(st)
 	e.releaseState(old) // drop old's publication reference
+	e.stats.publishes.Add(1)
+	e.stats.publishNanos.Add(uint64(time.Since(t0)))
 	return nil
 }
 
@@ -177,8 +181,13 @@ func (e *Engine) reclaim() {
 		if st == nil || !st.refs.drained() || st.next == nil {
 			break
 		}
-		if err := st.snap.ReleaseViews(); err != nil && e.retireErr == nil {
-			e.retireErr = err
+		if err := st.snap.ReleaseViews(); err != nil {
+			// Surface, never swallow: the error is counted for Stats and
+			// the first one is reported by Engine.Close.
+			e.stats.retireErrors.Add(1)
+			if e.retireErr == nil {
+				e.retireErr = err
+			}
 		}
 		for _, fr := range st.retiredFrames {
 			e.col.Kernel().FreeFrame(fr)

@@ -264,6 +264,16 @@ func (e *Engine) alignLocked(batch []Update) (UpdateStats, error) {
 	}
 	sort.Ints(pages) // deterministic alignment order
 
+	// Demand-materialized views must be fully mapped before the maps
+	// render: the bimap's page-wise index is built from VMAs, so a cold
+	// (not yet mapped) slot would read as "not indexed" and case (1)
+	// would append a physical page the view already covers.
+	for _, v := range e.set.Partials() {
+		if err := v.EnsureMapped(); err != nil {
+			return st, fmt.Errorf("core: materializing view for alignment: %w", err)
+		}
+	}
+
 	// Step 3 (§2.5): parse the maps file once and materialize the
 	// page-wise bidirectional map.
 	t0 := time.Now()
@@ -378,6 +388,11 @@ func (e *Engine) alignView(v *view.View, pages []int, byPage map[int][]Update,
 	ensureTLB := func() {
 		if !cloned {
 			v.BeginTLBMutation()
+			// The session will change this view's pages or translations:
+			// the next publication must re-capture it instead of sharing
+			// the previous capture's entry. (Safe concurrently — workers
+			// align distinct views but mark through the same set.)
+			e.set.MarkDirty(v)
 			cloned = true
 		}
 	}

@@ -402,3 +402,39 @@ func TestRunAutopilot(t *testing.T) {
 		}
 	}
 }
+
+func TestRunManyViews(t *testing.T) {
+	s := tinyScale()
+	s.Runs = 1
+	tbl, err := RunManyViews(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "manyviews" {
+		t.Fatalf("id = %q", tbl.ID)
+	}
+	wantHeader := []string{"views", "create_ms", "state_pub_ms", "firsttouch_qps"}
+	for i, h := range wantHeader {
+		if tbl.Header[i] != h {
+			t.Fatalf("header[%d] = %q, want %q", i, tbl.Header[i], h)
+		}
+	}
+	// Counts above the tiny column's page count are skipped.
+	want := 0
+	for _, n := range manyViewsCounts {
+		if n <= s.Pages {
+			want++
+		}
+	}
+	if len(tbl.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), want)
+	}
+	for _, row := range tbl.Rows {
+		for _, idx := range []int{1, 2, 3} {
+			v, err := strconv.ParseFloat(row[idx], 64)
+			if err != nil || v <= 0 {
+				t.Fatalf("row %v: bad cell %q (col %d)", row, row[idx], idx)
+			}
+		}
+	}
+}

@@ -18,6 +18,15 @@ type CreateOptions struct {
 	// Concurrent performs the mmap calls on a background Mapper instead of
 	// the scanning thread (§2.3 optimization 2). Requires a Mapper.
 	Concurrent bool
+	// Lazy defers all file-page mapping and soft-TLB resolution to first
+	// access: the builder only records which physical page backs each
+	// slot, and the finished view materializes slots on demand through
+	// the cold → resolving → warm state machine (see lazy.go). Creation
+	// then costs the qualification scan plus one virtual reservation.
+	// Lazy takes precedence over Consecutive and Concurrent (there is
+	// nothing to map at build time); both still apply to the demand path
+	// (consecutive runs) and to later alignment work.
+	Lazy bool
 }
 
 // AllOptimizations is the paper's default configuration.
@@ -37,9 +46,10 @@ type Builder struct {
 	wg     sync.WaitGroup
 	ferr   firstErr
 
-	runStart int // first file page of the pending consecutive run
-	runLen   int // pending run length (0 = none)
-	nextSlot int // next virtual page slot to fill
+	runStart int     // first file page of the pending consecutive run
+	runLen   int     // pending run length (0 = none)
+	nextSlot int     // next virtual page slot to fill
+	lazyFile []int32 // Lazy mode: backing file page per slot, in add order
 	finished bool
 }
 
@@ -75,6 +85,11 @@ func NewBuilder(col *storage.Column, opts CreateOptions, mapper *Mapper) (*Build
 func (b *Builder) AddPage(filePage int) {
 	if b.finished {
 		panic("view: AddPage after Finish/Abort")
+	}
+	if b.opts.Lazy {
+		b.lazyFile = append(b.lazyFile, int32(filePage))
+		b.nextSlot++
+		return
 	}
 	if !b.opts.Consecutive {
 		b.emit(filePage, 1)
@@ -142,6 +157,12 @@ func (b *Builder) Finish(lo, hi uint64) (*View, error) {
 	}
 	b.v.numPages = b.nextSlot
 	b.v.lo, b.v.hi = lo, hi
+	if b.opts.Lazy {
+		// No mapping happened; hand the recorded slot directory to the
+		// view's demand path. First access materializes each slot.
+		b.v.lazy = newPageDir(b.lazyFile)
+		return b.v, nil
+	}
 	// Warm the soft-TLB before the view becomes visible: concurrent
 	// readers then never write view state (see View.tlb).
 	if err := b.v.warmTLB(); err != nil {

@@ -64,6 +64,14 @@ type View struct {
 	// produce fresh arrays, so new views need no clone.
 	tlb [][]byte
 
+	// lazy is the demand-materialization directory of a lazily created
+	// view (CreateOptions.Lazy): the backing file page per slot plus the
+	// cold → resolving → warm slot-state machine that materializes a
+	// slot's mapping and translation on first access (see lazy.go). Nil
+	// for eager views and after EnsureMapped/Warm convert the view to
+	// the soft-TLB representation above.
+	lazy *pageDir
+
 	// extraRefs counts references beyond the creation (owner) reference:
 	// the logical refcount is extraRefs+1, so the zero value is a view
 	// owned by exactly its creator. Published engine states Retain every
@@ -171,6 +179,9 @@ func (v *View) PageBytes(i int) ([]byte, error) {
 	if i < 0 || i >= v.numPages {
 		return nil, fmt.Errorf("view: page %d out of mapped range [0,%d)", i, v.numPages)
 	}
+	if v.lazy != nil {
+		return v.resolveLazy(i)
+	}
 	if i < len(v.tlb) {
 		if pg := v.tlb[i]; pg != nil {
 			return pg, nil
@@ -230,6 +241,16 @@ func (v *View) ScanDedup(lo, hi uint64, processed *bitvec.Vector) (ScanResult, e
 // PageIDs returns the physical page IDs the view currently indexes, in
 // virtual order. Intended for tests and inspection tools.
 func (v *View) PageIDs() ([]uint64, error) {
+	if v.lazy != nil {
+		// The demand directory already records the backing file page per
+		// slot; answering from it keeps inspection (and the autopilot's
+		// fragmentation scoring) from materializing cold slots.
+		ids := make([]uint64, v.numPages)
+		for i, f := range v.lazy.file {
+			ids[i] = uint64(f)
+		}
+		return ids, nil
+	}
 	ids := make([]uint64, v.numPages)
 	for i := 0; i < v.numPages; i++ {
 		pg, err := v.PageBytes(i)
@@ -247,6 +268,9 @@ func (v *View) PageIDs() ([]uint64, error) {
 func (v *View) AppendPage(filePage int) (uint64, error) {
 	if v.full {
 		return 0, ErrFullView
+	}
+	if err := v.EnsureMapped(); err != nil {
+		return 0, err
 	}
 	if v.numPages >= v.capacity {
 		return 0, fmt.Errorf("view: no unused virtual pages left (capacity %d)", v.capacity)
@@ -289,6 +313,9 @@ type RemovedPage struct {
 func (v *View) RemovePageAt(slot int) (RemovedPage, error) {
 	if v.full {
 		return RemovedPage{}, ErrFullView
+	}
+	if err := v.EnsureMapped(); err != nil {
+		return RemovedPage{}, err
 	}
 	if slot < 0 || slot >= v.numPages {
 		return RemovedPage{}, fmt.Errorf("view: remove slot %d out of range [0,%d)", slot, v.numPages)
@@ -340,6 +367,21 @@ func (v *View) RemovePageAt(slot int) (RemovedPage, error) {
 // hot view is scanned again. The caller must hold the engine's exclusive
 // room: Warm writes view state.
 func (v *View) Warm() (int, error) {
+	if v.lazy != nil {
+		// Materializing every slot is exactly the pre-warm duty; the
+		// conversion also moves the view onto the eager soft-TLB
+		// representation the rest of this function maintains.
+		cold := 0
+		for i := range v.lazy.slots {
+			if v.lazy.slots[i].state.Load() != slotWarm {
+				cold++
+			}
+		}
+		if err := v.EnsureMapped(); err != nil {
+			return 0, err
+		}
+		return cold, nil
+	}
 	// Warm mutates TLB slots, and the current array may have been handed
 	// to a published engine state: start a private clone like every
 	// other mutation session.
@@ -363,9 +405,17 @@ func (v *View) Warm() (int, error) {
 }
 
 // DropTLB discards the soft-TLB, forcing the lazy PageBytes fallback (or
-// a Warm call) to re-resolve translations. Intended for tests and for
+// a Warm call) to re-resolve translations. On a demand-materialized view
+// it resets every slot to cold instead (established mappings persist;
+// only the cached translations are dropped). Intended for tests and for
 // tools that measure the simulator's software page-walk cost.
-func (v *View) DropTLB() { v.tlb = nil }
+func (v *View) DropTLB() {
+	if v.lazy != nil {
+		v.lazy = newPageDir(v.lazy.file)
+		return
+	}
+	v.tlb = nil
+}
 
 // BeginTLBMutation installs a private clone of the soft-TLB array,
 // detaching it from any capture a published engine state may share
@@ -398,12 +448,33 @@ func (v *View) RefreshSlot(slot int, pg []byte) {
 // Release is a no-op regardless).
 func (v *View) Retain() { v.extraRefs.Add(1) }
 
+// Refs returns the view's logical reference count: the creation (owner)
+// reference plus every outstanding Retain. Intended for tests and
+// inspection tooling; the value is advisory under concurrency.
+func (v *View) Refs() int { return int(v.extraRefs.Load()) + 1 }
+
 // CapturePages returns the view's resolved soft-TLB — one page slice per
 // mapped slot, in virtual order — as an immutable capture for a
 // published engine state. When the cache is fully resolved the array
 // itself is shared (mutation sessions clone before writing, see
 // BeginTLBMutation); cold slots are resolved into a private copy.
 func (v *View) CapturePages() ([][]byte, error) {
+	if v.lazy != nil {
+		// An eager page capture of a demand-materialized view forces full
+		// materialization. The engine's snapshot path never takes it —
+		// lazy views are captured through LazyFilePages and resolved
+		// against the column's frozen full-view capture — but direct
+		// callers still get correct pages.
+		out := make([][]byte, v.numPages)
+		for i := range out {
+			pg, err := v.resolveLazy(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = pg
+		}
+		return out, nil
+	}
 	n := v.numPages
 	if len(v.tlb) == n {
 		warm := true
@@ -452,6 +523,7 @@ func (v *View) Release() error {
 	v.capacity = 0
 	v.numPages = 0
 	v.tlb = nil
+	v.lazy = nil
 	return err
 }
 

@@ -129,6 +129,22 @@ type Set struct {
 
 	lruMu sync.Mutex           // guards usage (touched by concurrent routers)
 	usage map[*view.View]usage // routing recency/frequency per partial view
+
+	// Delta-capture cache (see snapshot.go): the most recent capture's
+	// chunk table, the partial-view order it captured, and the per-view
+	// entries it may share with the next capture. The set owns one chunk
+	// reference per cached chunk. All four are written only under the
+	// engine's exclusive room, except capDirty, which alignment workers
+	// mark concurrently and therefore has its own lock.
+	capViews  []*view.View
+	capChunks []*snapChunk
+	capBy     map[*view.View]*SnapView
+
+	dirtyMu  sync.Mutex
+	capDirty map[*view.View]struct{}
+
+	captureHook func(*view.View) ([][]byte, error) // test seam: per-view capture
+	releaseHook func(*view.View) error             // test seam: drained-capture release
 }
 
 // usage is one partial view's temperature record: the routing tick of its
@@ -153,6 +169,8 @@ func New(full *view.View, maxViews, discardTol, replaceTol int) *Set {
 		discardTol: discardTol,
 		replaceTol: replaceTol,
 		usage:      make(map[*view.View]usage),
+		capBy:      make(map[*view.View]*SnapView),
+		capDirty:   make(map[*view.View]struct{}),
 	}
 }
 
