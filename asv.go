@@ -358,10 +358,13 @@ func (c *Column) UpdateBatch(writes []RowWrite) error { return c.eng.UpdateBatch
 func (c *Column) FlushUpdates() (UpdateReport, error) { return c.eng.FlushUpdates() }
 
 // CreateView eagerly builds a partial view over [lo, hi], bypassing
-// adaptivity — occasionally useful to pre-warm a known hot range.
+// adaptivity — occasionally useful to pre-warm a known hot range. It is
+// a documented thin wrapper over CreateViewOpt(lo, hi, asv.Pinned()):
+// the view set, telemetry and every side effect are identical to that
+// call. The view is pinned — an explicitly requested range stays exempt
+// from tier demotion; use CreateViewOpt directly for a demotable view.
 func (c *Column) CreateView(lo, hi uint64) error {
-	_, err := c.eng.CreateView(lo, hi)
-	return err
+	return c.CreateViewOpt(lo, hi, Pinned())
 }
 
 // RebuildViews drops and recreates every partial view from scratch.

@@ -16,7 +16,9 @@
 // sharded update write path, beyond the paper), autopilot (bounded-
 // latency engine-side write coalescing, beyond the paper), snapshot
 // (reader qps under a forced alignment storm: legacy room-lock reads vs
-// epoch-routed reads vs pinned snapshots, beyond the paper), all. An
+// epoch-routed reads vs pinned snapshots, beyond the paper), manyviews
+// (many-views scaling, beyond the paper), tiered (qps vs hot-tier
+// fraction over the simulated capacity tier, beyond the paper), all. An
 // unknown -experiment name fails with the list of valid names. The
 // default scale is 1/16 of the paper's
 // (65,536 pages ≈ 256 MiB per column); -pages 1048576 reproduces the
@@ -119,6 +121,9 @@ var experiments = []experiment{
 	}},
 	{"manyviews", "many-views scaling: batched creation, delta publication latency, first-touch reads over lazy views (beyond the paper)", func(s harness.Scale) ([]*harness.Table, error) {
 		return one(harness.RunManyViews(s))
+	}},
+	{"tiered", "tiered view memory: adaptive qps vs hot-tier fraction at 10x suite page count (beyond the paper)", func(s harness.Scale) ([]*harness.Table, error) {
+		return one(harness.RunTiered(s))
 	}},
 }
 

@@ -72,9 +72,10 @@ func isLatencyColumn(name string) bool {
 // sweep coordinates; they never take part in row keys (a jittery
 // measurement in the key would make every row look new and mute the
 // gate). Rates and gated latencies are compared; the rest —
-// percentages, plain durations, averages, and the snapshot panel's
+// percentages, plain durations, nanosecond totals (the tiered panel's
+// simulated stall), averages, and the snapshot panel's
 // epoch-vs-room-lock speedup ratio — are informational.
-var measurementSuffixes = []string{"_pct", "_ms", "_avg", "_speedup"}
+var measurementSuffixes = []string{"_pct", "_ms", "_ns", "_avg", "_speedup"}
 
 func isMeasurementColumn(name string) bool {
 	if isRateColumn(name) {

@@ -38,16 +38,17 @@ func main() {
 		scanWork = flag.Int("scanworkers", 0, "page-sharded scan workers per query (0 = serial, <0 = GOMAXPROCS)")
 		autoPlt  = flag.Bool("autopilot", false, "enable the background maintenance subsystem: interleave fire-and-forget updates with the queries and dump coalescing/lifecycle telemetry")
 		snapDemo = flag.Bool("snapshot", false, "after the query sequence, pin an epoch snapshot, overwrite rows and flush, and show the pinned reads staying repeatable while live reads move")
+		tierDemo = flag.Bool("tiers", false, "attach a simulated capacity tier (hot budget = half the pages), demote the whole column after the queries, re-run a probe and dump per-tier occupancy")
 	)
 	flag.Parse()
 
-	if err := run(*pages, *queries, *distName, *mode, *seed, *showMaps, *parallel, *scanWork, *autoPlt, *snapDemo); err != nil {
+	if err := run(*pages, *queries, *distName, *mode, *seed, *showMaps, *parallel, *scanWork, *autoPlt, *snapDemo, *tierDemo); err != nil {
 		fmt.Fprintln(os.Stderr, "asvinspect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(pages, queries int, distName, mode string, seed uint64, showMaps, parallel bool, scanWorkers int, autoPilot, snapDemo bool) error {
+func run(pages, queries int, distName, mode string, seed uint64, showMaps, parallel bool, scanWorkers int, autoPilot, snapDemo, tierDemo bool) error {
 	const domain = 100_000_000
 
 	kern := vmsim.NewKernel(0)
@@ -81,6 +82,9 @@ func run(pages, queries int, distName, mode string, seed uint64, showMaps, paral
 	}
 	if autoPilot {
 		cfg.Autopilot = &autopilot.Config{}
+	}
+	if tierDemo {
+		cfg.Tiering = &vmsim.TierConfig{HotFrames: (pages + 1) / 2}
 	}
 	eng, err := core.NewEngine(col, cfg)
 	if err != nil {
@@ -137,6 +141,12 @@ func run(pages, queries int, distName, mode string, seed uint64, showMaps, paral
 
 	if snapDemo {
 		if err := snapshotDemo(eng, qs, rng, domain); err != nil {
+			return err
+		}
+	}
+
+	if tierDemo {
+		if err := tiersDemo(eng, qs); err != nil {
 			return err
 		}
 	}
@@ -242,6 +252,50 @@ func snapshotDemo(eng *core.Engine, qs []workload.Query, rng *xrand.Rand, domain
 	}
 	fmt.Printf("  pinned re-read  -> %d rows (sum %d): %s\n", after.Count, after.Sum, repeat)
 	fmt.Printf("  live read       -> %d rows (sum %d) over the realigned views\n", live.Count, live.Sum)
+	return nil
+}
+
+// tiersDemo makes the frame tiers visible: per-tier occupancy after the
+// adaptive workload, then after demoting the entire column to the
+// simulated capacity tier, then after one probe query whose touches
+// promote what it scanned back up to the hot budget — charging the
+// configured latency multiplier for every cold frame on the way.
+func tiersDemo(eng *core.Engine, qs []workload.Query) error {
+	fmt.Printf("\n=== frame tiers ===\n")
+	dump := func(stage string) (vmsim.TierStats, error) {
+		s, ok := eng.TierStats()
+		if !ok {
+			return s, fmt.Errorf("tier demo engine reports no tier stats")
+		}
+		fmt.Printf("  %-28s hot %6d / budget %d, cold %6d (hot fraction %.2f)\n",
+			stage+":", s.HotFrames, s.HotBudget, s.ColdFrames, s.HotFraction())
+		return s, nil
+	}
+	if _, err := dump("after workload"); err != nil {
+		return err
+	}
+
+	tier := eng.Tier()
+	for p := 0; p < eng.Column().NumPages(); p++ {
+		tier.Demote(p)
+	}
+	if _, err := dump("after demoting every page"); err != nil {
+		return err
+	}
+
+	probe := qs[len(qs)/2]
+	res, err := eng.Query(probe.Lo, probe.Hi)
+	if err != nil {
+		return err
+	}
+	s, err := dump("after one probe query")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  probe [%d, %d] -> %d rows over %d pages\n",
+		probe.Lo, probe.Hi, res.Count, res.PagesScanned)
+	fmt.Printf("  lifetime: %d demotions, %d promotions, %d cold touches, %s simulated stall\n",
+		s.Demotions, s.Promotions, s.ColdTouches, time.Duration(s.StallNanos))
 	return nil
 }
 

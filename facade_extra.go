@@ -73,9 +73,21 @@ type ViewRange = core.ViewRange
 // qualification scan and one publication. Use it to stand up large view
 // sets (the many-views experiments create thousands this way). On error
 // nothing is inserted.
+//
+// It is a documented thin wrapper over CreateViewOpt with a Batch of the
+// remaining ranges and Pinned() — views, telemetry and side effects are
+// identical to that call; like CreateView, the legacy surface pins.
 func (c *Column) CreateViews(ranges []ViewRange) error {
-	_, err := c.eng.CreateViewsBatch(ranges)
-	return err
+	if len(ranges) == 0 {
+		return nil
+	}
+	return c.CreateViewOpt(ranges[0].Lo, ranges[0].Hi, Batch(ranges[1:]...), Pinned())
+}
+
+// CreateViewsBatch is CreateViews under its original engine-side name —
+// the same documented thin pinned wrapper over CreateViewOpt.
+func (c *Column) CreateViewsBatch(ranges []ViewRange) error {
+	return c.CreateViews(ranges)
 }
 
 // WriteTo serializes the column's data pages (views are an adaptive cache

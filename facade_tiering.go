@@ -1,0 +1,74 @@
+package asv
+
+import (
+	"github.com/asv-db/asv/internal/vmsim"
+)
+
+// This file is the tiered-memory surface: WithTiering attaches a second,
+// slower frame tier (simulated NVMe/CXL capacity tier) to a column
+// configuration, and MemoryStats reads the per-tier occupancy and
+// migration counters back out.
+
+// TierConfig parameterizes a column's two-tier frame budget; see
+// WithTiering. The zero value disables tiering: no tier words are
+// tracked, no latency is charged, and behaviour is byte-for-byte the
+// single-tier column.
+type TierConfig = vmsim.TierConfig
+
+// WithTiering enables the second frame tier on a column configuration:
+// the column's pages carry a vmcache-style tier+version word, cold-tier
+// page accesses are charged tc.ColdMultiplier × the hot per-page scan
+// cost (and promote the page back under budget), writes land pages hot,
+// and — when an autopilot runs — hot-tier occupancy above its high
+// watermark demotes the coldest unpinned views' pages tier-down:
+//
+//	cfg := asv.WithTiering(asv.WithAutopilot(asv.DefaultConfig()),
+//	    asv.TierConfig{HotFrames: pages / 2})
+//
+// Scans validate each page through its version word (optimistic read,
+// retried on a concurrent migration), so readers never block on tier
+// migration and answers are byte-identical to the single-tier column.
+func WithTiering(cfg Config, tc TierConfig) Config {
+	cfg.Tiering = &tc
+	return cfg
+}
+
+// MemoryStats is a column's tiered-memory readout: per-tier frame
+// counts, migration counters and the cumulative simulated cold-access
+// stall. On a single-tier column Tiered is false and every page counts
+// as hot.
+type MemoryStats struct {
+	Tiered      bool    // whether a second tier is attached
+	Pages       int     // tracked file pages
+	HotFrames   int     // pages currently in the hot (DRAM) tier
+	ColdFrames  int     // pages currently in the capacity tier
+	HotBudget   int     // configured hot-tier frame budget (0 untiered)
+	HotFraction float64 // HotFrames / Pages (1 untiered)
+	Demotions   uint64  // hot → cold page migrations
+	Promotions  uint64  // cold → hot page migrations
+	ColdTouches uint64  // page accesses that found the page cold
+	StallNanos  uint64  // cumulative simulated cold-access latency, ns
+}
+
+// MemoryStats snapshots the column's tier occupancy and migration
+// counters. Counters are monotonic; occupancy is advisory under
+// concurrent migration (each field is exact at its own read).
+func (c *Column) MemoryStats() MemoryStats {
+	s, ok := c.eng.TierStats()
+	if !ok {
+		n := c.NumPages()
+		return MemoryStats{Pages: n, HotFrames: n, HotFraction: 1}
+	}
+	return MemoryStats{
+		Tiered:      true,
+		Pages:       s.Pages,
+		HotFrames:   s.HotFrames,
+		ColdFrames:  s.ColdFrames,
+		HotBudget:   s.HotBudget,
+		HotFraction: s.HotFraction(),
+		Demotions:   s.Demotions,
+		Promotions:  s.Promotions,
+		ColdTouches: s.ColdTouches,
+		StallNanos:  s.StallNanos,
+	}
+}

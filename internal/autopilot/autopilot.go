@@ -52,6 +52,16 @@ const (
 	defaultMinRebuildPages = 16
 	defaultWarmHottest     = 2
 	defaultWorkerOverhead  = 25 * time.Microsecond
+	defaultTierHighWater   = 0.9
+	defaultTierLowWater    = 0.7
+	// tierSlowdownGate is the measured scan slowdown (CostModel, relative
+	// to the engine's demonstrated floor) beyond which the pilot treats
+	// its own demotions as hurting reads: demotion batches are halved and
+	// fragmented views are rebuilt more eagerly.
+	tierSlowdownGate = 1.25
+	// tierPressureColdScale is how strongly hot-tier pressure accelerates
+	// eviction: at full pressure the effective ColdTicks halves.
+	tierPressureColdScale = 0.5
 	// writeBytes is the queued size of one Write (row + value). Updates
 	// are fixed-size today, so CoalesceBytes is effectively a second
 	// count bound; the knob exists so variable-size updates slot in
@@ -85,6 +95,7 @@ type ViewTemp struct {
 	Uses     uint64  // total routing hits
 	Pages    int     // physical pages indexed
 	Frag     float64 // 0 = pages in ascending order, 1 = fully shuffled
+	Pinned   bool    // exempt from tier demotion (not from eviction)
 }
 
 // Target is the engine surface the pilot drives. Implementations take
@@ -110,6 +121,38 @@ type Target interface {
 	// WarmView re-resolves one hot view's soft-TLB, returning the number
 	// of page translations that were cold.
 	WarmView(handle any) (int, error)
+}
+
+// TierInfo is a hot-tier occupancy snapshot — the simulated memory
+// pressure the lifecycle's feedback loop runs on.
+type TierInfo struct {
+	HotFrames  int // file pages currently in the hot tier
+	ColdFrames int // file pages currently in the capacity tier
+	HotBudget  int // configured hot-tier frame budget
+}
+
+// Occupancy returns hot frames as a fraction of the budget (> 1 means
+// the hot tier is over budget).
+func (i TierInfo) Occupancy() float64 {
+	if i.HotBudget <= 0 {
+		return 0
+	}
+	return float64(i.HotFrames) / float64(i.HotBudget)
+}
+
+// TierTarget is the optional tier-migration surface of a Target. The
+// pilot type-asserts for it on every maintenance tick: engines without a
+// second tier (and pre-tiering test fakes) simply don't implement it and
+// the demotion duty stays off.
+type TierTarget interface {
+	// TierInfo snapshots hot-tier occupancy; ok is false when the engine
+	// runs single-tier.
+	TierInfo() (info TierInfo, ok bool)
+	// DemotePages demotes pages of the given views (coldest-first order,
+	// chosen by the pilot) to the capacity tier, stopping after maxPages
+	// demotions. It returns how many pages were actually demoted; handles
+	// that left the set, pinned views and already-cold pages are skipped.
+	DemotePages(handles []any, maxPages int) (int, error)
 }
 
 // Config parameterizes a Pilot. The zero value of every field selects the
@@ -145,6 +188,16 @@ type Config struct {
 	// WarmHottest pre-warms the soft-TLBs of this many most-used views per
 	// tick (default 2; < 0 disables warming).
 	WarmHottest int
+	// TierHighWater starts the demotion duty once hot-tier occupancy
+	// (hot frames / budget) reaches this fraction (default 0.9; < 0
+	// disables the duty even on a TierTarget). Only consulted when the
+	// target implements TierTarget and reports an active tier.
+	TierHighWater float64
+	// TierLowWater is the occupancy the demotion duty drives the hot tier
+	// back down to once triggered (default 0.7). The [low, high] band is
+	// also the pressure scale that accelerates cold-view eviction:
+	// occupancy at TierHighWater halves the effective ColdTicks.
+	TierLowWater float64
 	// WorkerOverhead is the assumed per-worker startup cost the adaptive
 	// parallelism model amortizes (default 25µs).
 	WorkerOverhead time.Duration
@@ -178,6 +231,19 @@ func (c *Config) Validate() error {
 	if c.RebuildFrag > 1 {
 		return fmt.Errorf("autopilot: RebuildFrag %g > 1", c.RebuildFrag)
 	}
+	high, low := c.TierHighWater, c.TierLowWater
+	if high == 0 {
+		high = defaultTierHighWater
+	}
+	if low == 0 {
+		low = defaultTierLowWater
+	}
+	if high > 1 {
+		return fmt.Errorf("autopilot: TierHighWater %g > 1", high)
+	}
+	if high > 0 && low > high {
+		return fmt.Errorf("autopilot: TierLowWater %g above TierHighWater %g", low, high)
+	}
 	return nil
 }
 
@@ -209,6 +275,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WarmHottest == 0 {
 		c.WarmHottest = defaultWarmHottest
+	}
+	if c.TierHighWater == 0 {
+		c.TierHighWater = defaultTierHighWater
+	}
+	if c.TierLowWater == 0 {
+		c.TierLowWater = defaultTierLowWater
 	}
 	if c.WorkerOverhead == 0 {
 		c.WorkerOverhead = defaultWorkerOverhead
@@ -273,11 +345,13 @@ type FlushInfo struct {
 
 // MaintainReport describes one maintenance tick for the OnMaintain hook.
 type MaintainReport struct {
-	Views       int // partial views inspected
-	Evicted     int // cold views released
-	Rebuilt     int // fragmented views rebuilt
-	WarmedPages int // cold TLB slots re-resolved on hot views
-	Err         error
+	Views        int     // partial views inspected
+	Evicted      int     // cold views released
+	Rebuilt      int     // fragmented views rebuilt
+	WarmedPages  int     // cold TLB slots re-resolved on hot views
+	PagesDemoted int     // pages moved to the capacity tier this tick
+	TierPressure float64 // 0..1 position within the [low, high] water band
+	Err          error
 }
 
 // Metrics is a snapshot of the pilot's cumulative counters.
@@ -294,6 +368,7 @@ type Metrics struct {
 	ViewsEvicted        uint64
 	ViewsRebuilt        uint64
 	TLBPagesWarmed      uint64
+	PagesDemoted        uint64 // pages moved to the capacity tier
 }
 
 // AvgCoalesce returns the mean writes per coalesced flush.
@@ -355,6 +430,7 @@ type Pilot struct {
 	mEvicted             atomic.Uint64
 	mRebuilt             atomic.Uint64
 	mWarmed              atomic.Uint64
+	mPagesDemoted        atomic.Uint64
 
 	latMu  sync.Mutex
 	lats   []time.Duration
@@ -503,6 +579,7 @@ func (p *Pilot) Metrics() Metrics {
 		ViewsEvicted:        p.mEvicted.Load(),
 		ViewsRebuilt:        p.mRebuilt.Load(),
 		TLBPagesWarmed:      p.mWarmed.Load(),
+		PagesDemoted:        p.mPagesDemoted.Load(),
 	}
 }
 
@@ -661,11 +738,49 @@ func (p *Pilot) drain(reason FlushReason, align bool) {
 
 // maintain runs one temperature-driven lifecycle pass: evict cold views
 // (one exclusive slice for the batch), rebuild fragmented ones (one
-// slice each, so readers interleave), pre-warm the hottest TLBs.
+// slice each, so readers interleave), pre-warm the hottest TLBs, and —
+// on a tiered engine — demote the coldest unpinned views' pages under
+// hot-tier pressure.
+//
+// The thresholds are feedback-driven rather than fixed: simulated memory
+// pressure (hot-tier occupancy within the [TierLowWater, TierHighWater]
+// band) scales the effective ColdTicks down, so a full hot tier evicts
+// cold views sooner; the cost model's measured scan slowdown lowers the
+// effective RebuildFrag (a struggling read path rebuilds fragmented
+// views more eagerly) and halves the demotion batch (don't pile more
+// cold touches onto scans that already stall).
 func (p *Pilot) maintain() {
 	p.mMaintTicks.Add(1)
 	clock, temps := p.target.ViewTemperatures()
 	rep := MaintainReport{Views: len(temps)}
+
+	tt, _ := p.target.(TierTarget)
+	var tier TierInfo
+	tiered := false
+	if tt != nil && p.cfg.TierHighWater > 0 {
+		tier, tiered = tt.TierInfo()
+	}
+	if tiered {
+		press := (tier.Occupancy() - p.cfg.TierLowWater) /
+			(p.cfg.TierHighWater - p.cfg.TierLowWater)
+		rep.TierPressure = min(max(press, 0), 1)
+	}
+	slowdown := 1.0
+	if p.model != nil {
+		slowdown = p.model.ScanSlowdown()
+	}
+	coldTicks := uint64(0)
+	if p.cfg.ColdTicks > 0 {
+		coldTicks = uint64(float64(p.cfg.ColdTicks) * (1 - tierPressureColdScale*rep.TierPressure))
+		if coldTicks == 0 {
+			coldTicks = 1
+		}
+	}
+	rebuildFrag := p.cfg.RebuildFrag
+	if rebuildFrag > 0 && slowdown > tierSlowdownGate {
+		rebuildFrag *= tierSlowdownGate / slowdown
+	}
+
 	var cold []any
 	var rebuild []any
 	type hotView struct {
@@ -674,16 +789,19 @@ func (p *Pilot) maintain() {
 		last uint64
 	}
 	var hot []hotView
+	var demotable []ViewTemp
 	for _, t := range temps {
-		if p.cfg.ColdTicks > 0 && clock > uint64(p.cfg.ColdTicks) &&
-			clock-t.LastUsed > uint64(p.cfg.ColdTicks) {
+		if coldTicks > 0 && clock > coldTicks && clock-t.LastUsed > coldTicks {
 			cold = append(cold, t.Handle)
 			continue
 		}
-		if p.cfg.RebuildFrag > 0 && t.Frag >= p.cfg.RebuildFrag && t.Pages >= p.cfg.MinRebuildPages {
+		if rebuildFrag > 0 && t.Frag >= rebuildFrag && t.Pages >= p.cfg.MinRebuildPages {
 			rebuild = append(rebuild, t.Handle)
 		}
 		hot = append(hot, hotView{h: t.Handle, uses: t.Uses, last: t.LastUsed})
+		if tiered && !t.Pinned {
+			demotable = append(demotable, t)
+		}
 	}
 	setErr := func(err error) {
 		if err != nil && rep.Err == nil {
@@ -723,6 +841,33 @@ func (p *Pilot) maintain() {
 			n, err := p.target.WarmView(hot[i].h)
 			rep.WarmedPages += n
 			p.mWarmed.Add(uint64(n))
+			setErr(err)
+		}
+	}
+	if tiered && tier.Occupancy() >= p.cfg.TierHighWater && len(demotable) > 0 {
+		// Demote coldest-first down to the low watermark. Evicted views'
+		// frames are already being released this tick, so aim from the
+		// post-eviction occupancy would over-demote; the next tick corrects
+		// either way — the duty is a feedback loop, not a transaction.
+		goal := int(float64(tier.HotBudget) * p.cfg.TierLowWater)
+		maxPages := tier.HotFrames - goal
+		if slowdown > tierSlowdownGate {
+			maxPages /= 2
+		}
+		if maxPages > 0 {
+			sort.Slice(demotable, func(i, j int) bool {
+				if demotable[i].LastUsed != demotable[j].LastUsed {
+					return demotable[i].LastUsed < demotable[j].LastUsed
+				}
+				return demotable[i].Uses < demotable[j].Uses
+			})
+			handles := make([]any, len(demotable))
+			for i, t := range demotable {
+				handles[i] = t.Handle
+			}
+			n, err := tt.DemotePages(handles, maxPages)
+			rep.PagesDemoted = n
+			p.mPagesDemoted.Add(uint64(n))
 			setErr(err)
 		}
 	}

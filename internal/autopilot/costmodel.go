@@ -33,6 +33,10 @@ type CostModel struct {
 	// scanNsPerPage is the smoothed single-worker cost of filtering one
 	// page (ns), inferred from parallel runs as elapsed·workers/pages.
 	scanNsPerPage float64
+	// scanNsFloor is the lowest smoothed scan cost seen so far — the
+	// engine's demonstrated best. scanNsPerPage/scanNsFloor is the
+	// measured scan slowdown the tier-pressure feedback moderates on.
+	scanNsFloor float64
 	// alignNsPerUnit is the smoothed single-worker cost of aligning one
 	// view against one dirty page (ns).
 	alignNsPerUnit float64
@@ -66,7 +70,24 @@ func (m *CostModel) ObserveScan(pages, workers int, elapsed time.Duration) {
 	sample := float64(elapsed.Nanoseconds()) * float64(workers) / float64(pages)
 	m.mu.Lock()
 	m.scanNsPerPage = ewma(m.scanNsPerPage, sample)
+	if m.scanNsFloor == 0 || m.scanNsPerPage < m.scanNsFloor {
+		m.scanNsFloor = m.scanNsPerPage
+	}
 	m.mu.Unlock()
+}
+
+// ScanSlowdown returns the current smoothed scan cost relative to the
+// best this engine has demonstrated (1 = at the floor, 2 = scans take
+// twice as long as they used to; 1 before any observation). Cold-tier
+// stalls show up here, which is how the autopilot measures that its
+// demotions started hurting the read path.
+func (m *CostModel) ScanSlowdown() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.scanNsFloor == 0 {
+		return 1
+	}
+	return m.scanNsPerPage / m.scanNsFloor
 }
 
 // ObserveAlign records a finished alignment fan-out: views walked, dirty

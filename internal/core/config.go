@@ -12,6 +12,7 @@ import (
 	"github.com/asv-db/asv/internal/autopilot"
 	"github.com/asv-db/asv/internal/view"
 	"github.com/asv-db/asv/internal/viewset"
+	"github.com/asv-db/asv/internal/vmsim"
 )
 
 // Mode selects the query-routing mode of §2.1.
@@ -159,6 +160,14 @@ type Config struct {
 	// pre-warmed in exclusive-room slices). Engine.Close stops it. Nil
 	// keeps every maintenance action inline, the pre-autopilot behaviour.
 	Autopilot *autopilot.Config
+	// Tiering, when non-nil and enabled, attaches a second, slower frame
+	// tier to the column (internal/vmsim tier map): pages demoted below
+	// the hot-tier budget are charged a simulated capacity-tier latency
+	// on access, scans validate pages through the vmcache-style
+	// versioned/optimistic word, and the autopilot (when running) demotes
+	// the coldest unpinned views' pages under hot-tier pressure. Nil or
+	// a zero-value config keeps the single-tier behaviour byte-for-byte.
+	Tiering *vmsim.TierConfig
 }
 
 // DefaultConfig returns the paper's configuration: single-view mode, up to
@@ -201,6 +210,14 @@ func (c Config) validate() error {
 	if c.Autopilot != nil {
 		if err := c.Autopilot.Validate(); err != nil {
 			return err
+		}
+	}
+	if c.Tiering != nil {
+		if c.Tiering.HotFrames < 0 {
+			return fmt.Errorf("core: negative tier hot budget %d", c.Tiering.HotFrames)
+		}
+		if c.Tiering.ColdMultiplier < 0 {
+			return fmt.Errorf("core: negative tier cold multiplier %g", c.Tiering.ColdMultiplier)
 		}
 	}
 	return nil

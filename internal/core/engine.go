@@ -106,6 +106,11 @@ type Engine struct {
 	pilot *autopilot.Pilot
 	model *autopilot.CostModel
 
+	// tier is the column's second-tier frame map (Config.Tiering); nil
+	// keeps the single-tier scan path with zero overhead. Set once in
+	// NewEngine, so nil-checks need no lock. See tier.go.
+	tier *vmsim.FileTier
+
 	stats engineStats
 }
 
@@ -214,6 +219,13 @@ func NewEngine(col *storage.Column, cfg Config) (*Engine, error) {
 	// Epoch routing needs the column's copy-on-write write path: a
 	// published capture must stay frozen while writers shadow pages.
 	col.EnableSnapshots()
+	if cfg.Tiering != nil && cfg.Tiering.Enabled() {
+		t, err := col.EnableTiering(*cfg.Tiering)
+		if err != nil {
+			return nil, err
+		}
+		e.tier = t
+	}
 	if err := e.initState(); err != nil {
 		return nil, err
 	}
@@ -297,6 +309,9 @@ func (e *Engine) CreateView(lo, hi uint64) (*view.View, error) {
 		return nil, err
 	}
 	v.SetRange(lo, hi)
+	// Legacy-surface views are pinned: enabling tiering must never slow
+	// a pre-existing caller's explicitly requested hot range.
+	v.SetPinned(true)
 	if err := e.set.Insert(v); err != nil {
 		_ = v.Release()
 		return nil, err
@@ -312,21 +327,46 @@ func (e *Engine) CreateView(lo, hi uint64) (*view.View, error) {
 // ViewRange is one requested [Lo, Hi] of a CreateViewsBatch call.
 type ViewRange struct{ Lo, Hi uint64 }
 
-// CreateViewsBatch builds one partial view per requested range in a
-// single column pass and publishes them in one state swap. Semantically
-// it matches calling CreateView for each range in order (ranges are
-// pinned, so page sets are identical), but the cost is one qualification
-// scan — with a per-page zone-map prefilter — plus one publication
-// instead of len(ranges) of each; the many-views experiments stand up
-// thousands of views this way. On any error nothing is inserted and
-// nothing is published.
+// ViewSpec is one view request of the options-based creation surface:
+// the covered range plus the per-view overrides the facade's ViewOption
+// constructors set.
+type ViewSpec struct {
+	Lo, Hi uint64
+	// Lazy overrides the engine default (Config.LazyViews / Create.Lazy)
+	// for this view when HasLazy is set.
+	Lazy    bool
+	HasLazy bool
+	// Pinned exempts the view's pages from tier demotion; the legacy
+	// creation wrappers set it on every view.
+	Pinned bool
+}
+
+// CreateViewsBatch builds one pinned partial view per requested range —
+// the legacy batch surface, now a thin wrapper over CreateViewsOpt.
 func (e *Engine) CreateViewsBatch(ranges []ViewRange) ([]*view.View, error) {
-	if len(ranges) == 0 {
+	specs := make([]ViewSpec, len(ranges))
+	for i, r := range ranges {
+		specs[i] = ViewSpec{Lo: r.Lo, Hi: r.Hi, Pinned: true}
+	}
+	return e.CreateViewsOpt(specs)
+}
+
+// CreateViewsOpt builds one partial view per spec in a single column
+// pass and publishes them in one state swap — the options-based creation
+// entry point every explicit-creation surface routes through.
+// Semantically it matches calling CreateView for each range in order
+// (ranges are pinned to the declared [Lo, Hi], so page sets are
+// identical), but the cost is one qualification scan — with a per-page
+// zone-map prefilter — plus one publication instead of len(specs) of
+// each; the many-views experiments stand up thousands of views this way.
+// On any error nothing is inserted and nothing is published.
+func (e *Engine) CreateViewsOpt(specs []ViewSpec) ([]*view.View, error) {
+	if len(specs) == 0 {
 		return nil, nil
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	builders := make([]*view.Builder, len(ranges))
+	builders := make([]*view.Builder, len(specs))
 	abort := func(firstErr error) ([]*view.View, error) {
 		for _, b := range builders {
 			if b != nil {
@@ -335,8 +375,12 @@ func (e *Engine) CreateViewsBatch(ranges []ViewRange) ([]*view.View, error) {
 		}
 		return nil, firstErr
 	}
-	for i := range ranges {
-		b, err := view.NewBuilder(e.col, e.cfg.Create, e.mapper)
+	for i, sp := range specs {
+		opts := e.cfg.Create
+		if sp.HasLazy {
+			opts.Lazy = sp.Lazy
+		}
+		b, err := view.NewBuilder(e.col, opts, e.mapper)
 		if err != nil {
 			return abort(err)
 		}
@@ -351,18 +395,18 @@ func (e *Engine) CreateViewsBatch(ranges []ViewRange) ([]*view.View, error) {
 		// requested range cannot qualify for it, and most pages miss most
 		// ranges when thousands of narrow views are requested at once.
 		zmin, zmax := storage.Zone(pg)
-		for i, r := range ranges {
-			if zmax < r.Lo || zmin > r.Hi {
+		for i, sp := range specs {
+			if zmax < sp.Lo || zmin > sp.Hi {
 				continue
 			}
-			if s := storage.ScanFilter(pg, r.Lo, r.Hi); s.Count > 0 {
+			if s := storage.ScanFilter(pg, sp.Lo, sp.Hi); s.Count > 0 {
 				builders[i].AddPage(p)
 			}
 		}
 	}
-	views := make([]*view.View, len(ranges))
-	for i, r := range ranges {
-		v, err := builders[i].Finish(r.Lo, r.Hi)
+	views := make([]*view.View, len(specs))
+	for i, sp := range specs {
+		v, err := builders[i].Finish(sp.Lo, sp.Hi)
 		builders[i] = nil
 		if err != nil {
 			for _, w := range views[:i] {
@@ -371,6 +415,7 @@ func (e *Engine) CreateViewsBatch(ranges []ViewRange) ([]*view.View, error) {
 			}
 			return abort(err)
 		}
+		v.SetPinned(sp.Pinned)
 		if err := e.set.Insert(v); err != nil {
 			_ = v.Release()
 			for _, w := range views[:i] {
@@ -426,10 +471,13 @@ func (e *Engine) RebuildViews() error {
 	e.gen++ // in-flight candidates were routed over the pre-rebuild set
 	e.resetPendingLocked()
 	old := e.set.Clear()
-	type rng struct{ lo, hi uint64 }
+	type rng struct {
+		lo, hi uint64
+		pinned bool
+	}
 	ranges := make([]rng, 0, len(old))
 	for _, v := range old {
-		ranges = append(ranges, rng{v.Lo(), v.Hi()})
+		ranges = append(ranges, rng{v.Lo(), v.Hi(), v.Pinned()})
 	}
 	var firstErr error
 	for _, v := range old {
@@ -445,9 +493,11 @@ func (e *Engine) RebuildViews() error {
 			}
 			continue
 		}
-		// Rebuilt views keep their original declared range: Create may
-		// extend, but the view's contract is its pre-update range.
+		// Rebuilt views keep their original declared range (Create may
+		// extend, but the view's contract is its pre-update range) and
+		// their demotion exemption.
 		v.SetRange(r.lo, r.hi)
+		v.SetPinned(r.pinned)
 		if err := e.set.Insert(v); err != nil {
 			_ = v.Release()
 			if firstErr == nil {

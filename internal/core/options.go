@@ -316,6 +316,7 @@ func (e *Engine) scanState(st *engineState, lo, hi uint64, collect func(uint64, 
 		}
 	}
 	ext := view.NewRangeExtender(lo, hi)
+	filter := e.pageFilter(lo, hi)
 	var emit func(pid uint64, pg []byte)
 	if collect != nil || builder != nil {
 		emit = func(pid uint64, pg []byte) {
@@ -340,7 +341,7 @@ func (e *Engine) scanState(st *engineState, lo, hi uint64, collect func(uint64, 
 					if processed.TestAndSet(int(pid)) {
 						continue
 					}
-					s := storage.ScanFilter(pg, lo, hi)
+					s := filter(pg)
 					res.PagesScanned++
 					if s.Count == 0 {
 						ext.ObserveExcluded(s)

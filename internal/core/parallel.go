@@ -21,12 +21,13 @@ func (e *Engine) scanPagesAdaptive(n, workers int, lo, hi uint64,
 	fetch func(int) ([]byte, error),
 	emit func(pid uint64, pg []byte)) (qual, excl storage.PageScan, err error) {
 
+	filter := e.pageFilter(lo, hi)
 	if e.model == nil {
-		return scanPages(n, workers, lo, hi, fetch, emit)
+		return scanPages(n, workers, filter, fetch, emit)
 	}
 	w := e.model.ScanWorkers(n, workers, minParallelScanPages)
 	t0 := time.Now()
-	qual, excl, err = scanPages(n, w, lo, hi, fetch, emit)
+	qual, excl, err = scanPages(n, w, filter, fetch, emit)
 	if err == nil {
 		e.model.ObserveScan(n, w, time.Since(t0))
 	}
@@ -34,9 +35,11 @@ func (e *Engine) scanPagesAdaptive(n, workers int, lo, hi uint64,
 }
 
 // scanPages is the engine-side parallel scan kernel: it filters n pages
-// against [lo, hi] with `workers` page-sharded goroutines and reduces the
-// shards in page order with storage.PageScan.Merge, so every aggregate is
-// byte-identical to the serial loop.
+// through the caller's filter closure (plain ScanFilter, or the
+// tier-bracketed variant when a second tier runs) with `workers`
+// page-sharded goroutines and reduces the shards in page order with
+// storage.PageScan.Merge, so every aggregate is byte-identical to the
+// serial loop.
 //
 // fetch(i) resolves the i-th page and must be safe for concurrent calls —
 // view and column soft-TLBs are fully resolved before a scan can reach
@@ -50,7 +53,7 @@ func (e *Engine) scanPagesAdaptive(n, workers int, lo, hi uint64,
 // collectors depend on that order — after the sharded scan joins (or
 // inline on the serial path). With one worker, a small n, or emit-only
 // runs the kernel degenerates to the plain serial loop.
-func scanPages(n, workers int, lo, hi uint64,
+func scanPages(n, workers int, filter func([]byte) storage.PageScan,
 	fetch func(int) ([]byte, error),
 	emit func(pid uint64, pg []byte)) (qual, excl storage.PageScan, err error) {
 
@@ -63,7 +66,7 @@ func scanPages(n, workers int, lo, hi uint64,
 			if ferr != nil {
 				return qual, excl, ferr
 			}
-			s := storage.ScanFilter(pg, lo, hi)
+			s := filter(pg)
 			if s.Count == 0 {
 				excl.Merge(s)
 				continue
@@ -102,7 +105,7 @@ func scanPages(n, workers int, lo, hi uint64,
 					sh.err = ferr
 					return
 				}
-				s := storage.ScanFilter(pg, lo, hi)
+				s := filter(pg)
 				if s.Count == 0 {
 					sh.excl.Merge(s)
 					continue

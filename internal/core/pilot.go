@@ -77,6 +77,7 @@ func (t pilotTarget) ViewTemperatures() (uint64, []autopilot.ViewTemp) {
 			LastUsed: tp.LastUsed,
 			Uses:     tp.Uses,
 			Pages:    tp.View.NumPages(),
+			Pinned:   tp.View.Pinned(),
 		}
 		if frag, err := viewFragmentation(tp.View); err == nil {
 			vt.Frag = frag
@@ -164,8 +165,10 @@ func (t pilotTarget) RebuildView(h any) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	// Rebuilt views keep their declared range (Create may extend it).
+	// Rebuilt views keep their declared range (Create may extend it) and
+	// their demotion exemption.
 	nv.SetRange(lo, hi)
+	nv.SetPinned(v.Pinned())
 	// In-flight candidates were routed over the old view's pages;
 	// invalidate them like RebuildViews does.
 	e.gen++
@@ -179,6 +182,68 @@ func (t pilotTarget) RebuildView(h any) (bool, error) {
 		err = perr
 	}
 	return true, err
+}
+
+// TierInfo snapshots the column tier's hot occupancy for the pilot's
+// pressure feedback; ok is false on a single-tier engine (the pilot then
+// never runs the demotion duty).
+func (t pilotTarget) TierInfo() (autopilot.TierInfo, bool) {
+	tier := t.e.tier
+	if tier == nil {
+		return autopilot.TierInfo{}, false
+	}
+	s := tier.Stats()
+	return autopilot.TierInfo{
+		HotFrames:  s.HotFrames,
+		ColdFrames: s.ColdFrames,
+		HotBudget:  s.HotBudget,
+	}, true
+}
+
+// DemotePages demotes pages of the given views (the pilot passes them
+// coldest-first) until maxPages pages moved tier-down. Demotion is pure
+// atomics on the tier words, so the scan room suffices: RLock keeps set
+// membership and view lifetimes stable while epoch readers keep scanning
+// — a reader racing a demotion revalidates through the versioned word
+// and retries, it never blocks. Pinned views, the full view and handles
+// that left the set are skipped.
+func (t pilotTarget) DemotePages(handles []any, maxPages int) (int, error) {
+	e := t.e
+	if e.tier == nil || maxPages <= 0 {
+		return 0, nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return 0, nil
+	}
+	demoted := 0
+	var firstErr error
+	for _, h := range handles {
+		if demoted >= maxPages {
+			break
+		}
+		v, ok := h.(*view.View)
+		if !ok || v.Pinned() || v.Full() || !e.set.Contains(v) {
+			continue
+		}
+		ids, err := v.PageIDs()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		for _, id := range ids {
+			if demoted >= maxPages {
+				break
+			}
+			if e.tier.Demote(int(id)) {
+				demoted++
+			}
+		}
+	}
+	return demoted, firstErr
 }
 
 // WarmView re-resolves one hot view's soft-TLB in an exclusive-room

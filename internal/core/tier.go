@@ -1,0 +1,63 @@
+package core
+
+import (
+	"github.com/asv-db/asv/internal/storage"
+	"github.com/asv-db/asv/internal/vmsim"
+)
+
+// This file wires the vmsim second frame tier into the engine's scan
+// kernels. Page access becomes versioned/optimistic in the vmcache
+// style: the scan touch is bracketed by the page's tier+version word
+// (Touch hands out the token, Stable validates it), and a concurrent
+// demotion or promotion mid-filter retries the page. Correctness never
+// depends on the retry — captured page bytes are frozen for the pinned
+// state's lifetime — but the bracket keeps the *accounting* honest: a
+// page demoted between touch and filter is re-charged at its new tier,
+// which is exactly the protocol a real tiered buffer manager runs.
+
+// tierScanRetries bounds the optimistic re-reads per page. Migrations of
+// one page are rare (one autopilot slice or one write), so a page that
+// keeps failing validation is under a migration storm; after the bound
+// the scan keeps the latest charge and moves on — progress over
+// precision, the answer is unaffected either way.
+const tierScanRetries = 3
+
+// tierScanFilter filters one page through the versioned/optimistic tier
+// bracket: touch (charging cold latency and possibly promoting), filter,
+// validate, retry on a concurrent migration.
+func tierScanFilter(t *vmsim.FileTier, pg []byte, lo, hi uint64) storage.PageScan {
+	pid := int(storage.PageID(pg))
+	for r := 0; ; r++ {
+		tok := t.Touch(pid)
+		s := storage.ScanFilter(pg, lo, hi)
+		if t.Stable(pid, tok) || r >= tierScanRetries {
+			return s
+		}
+	}
+}
+
+// pageFilter returns the page-filter kernel for [lo, hi]: the plain
+// storage.ScanFilter when the engine runs single-tier (nil e.tier — the
+// zero-overhead default), or the tier-bracketed filter above. Every scan
+// path (serial dedup loop, sharded kernel, full scans) resolves its
+// filter through here, so tier accounting covers eager and lazy captures
+// uniformly — both hand back pages whose embedded PageID keys the tier.
+func (e *Engine) pageFilter(lo, hi uint64) func(pg []byte) storage.PageScan {
+	if t := e.tier; t != nil {
+		return func(pg []byte) storage.PageScan { return tierScanFilter(t, pg, lo, hi) }
+	}
+	return func(pg []byte) storage.PageScan { return storage.ScanFilter(pg, lo, hi) }
+}
+
+// TierStats snapshots the column tier's occupancy and migration
+// counters; ok is false when the engine runs single-tier.
+func (e *Engine) TierStats() (vmsim.TierStats, bool) {
+	if e.tier == nil {
+		return vmsim.TierStats{}, false
+	}
+	return e.tier.Stats(), true
+}
+
+// Tier exposes the engine's tier map (nil when tiering is off) — the
+// autopilot's demotion duty and the harness drive migrations through it.
+func (e *Engine) Tier() *vmsim.FileTier { return e.tier }

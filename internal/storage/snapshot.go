@@ -78,6 +78,14 @@ func (c *Column) pageForWrite(p int) ([]byte, error) {
 	// excludes writers, so the load is stable for the whole write. The
 	// pageEpoch slot is owned by p's shard lock: the comparison is exact.
 	epoch := c.snapEpoch.Load()
+	if t := c.tier.Load(); t != nil {
+		// A write lands the page hot unconditionally: the shadow below
+		// installs a fresh DRAM frame, and even the in-place branch makes
+		// the page the epoch's working set. The promote's version bump
+		// also invalidates concurrent optimistic readers mid-scan of the
+		// page, which retry through their frozen capture.
+		t.Promote(p)
+	}
 	if c.pageEpoch[p] == epoch {
 		// Already shadowed this epoch. A concurrent shadow of another
 		// page may have cloned the array since, but clones copy slots

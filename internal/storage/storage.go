@@ -212,6 +212,12 @@ type Column struct {
 	pageEpoch   []uint64 // per page: epoch of its last shadow copy
 	cloneNeeded bool     // current tlb array was handed to a state; clone before shadowing
 	retired     []vmsim.FrameID
+
+	// tier is the column's second-tier frame map (EnableTiering); nil
+	// keeps the single-tier behaviour. Tier state is keyed by file page —
+	// the pageID embedded in the page bytes — so copy-on-write frame
+	// replacement never loses a page's tier.
+	tier atomic.Pointer[vmsim.FileTier]
 }
 
 // NewColumn creates the file, stamps every page's pageID header, and maps
@@ -354,6 +360,28 @@ func (c *Column) Kernel() *vmsim.Kernel { return c.kernel }
 
 // FullViewAddr returns the base address of the full view.
 func (c *Column) FullViewAddr() vmsim.Addr { return c.fullAddr }
+
+// EnableTiering attaches a two-tier frame map to the column (idempotent:
+// a second call returns the existing map, first configuration wins). A
+// budget given as a fraction of the column — callers pass HotFrames
+// directly — governs demotion; the engine's scan paths charge and
+// validate accesses through the returned FileTier.
+func (c *Column) EnableTiering(cfg vmsim.TierConfig) (*vmsim.FileTier, error) {
+	if t := c.tier.Load(); t != nil {
+		return t, nil
+	}
+	t, err := c.kernel.NewFileTier(c.numPages, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !c.tier.CompareAndSwap(nil, t) {
+		return c.tier.Load(), nil
+	}
+	return t, nil
+}
+
+// Tier returns the column's tier map, or nil when tiering is off.
+func (c *Column) Tier() *vmsim.FileTier { return c.tier.Load() }
 
 // PageBytes returns physical page pageID accessed through the full view —
 // a virtual-memory access whose translation is served from the column's

@@ -96,6 +96,13 @@ func (v *View) resolveLazy(i int) ([]byte, error) {
 				s.state.Store(slotCold)
 				return nil, err
 			}
+			// Promote-on-resolve: a first touch that materializes a slot is
+			// a read access of its backing file page — charge the tier and
+			// pull a demoted page back hot before the slot goes warm, so
+			// every later read through the warm slot runs at hot speed.
+			if t := v.col.Tier(); t != nil {
+				t.Touch(int(v.lazy.file[i]))
+			}
 			s.pg = pg
 			s.state.Store(slotWarm)
 			return pg, nil

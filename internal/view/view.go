@@ -79,6 +79,14 @@ type View struct {
 	// drops the count to zero performs the unmap. Releasing more often
 	// than retaining+1 is a no-op, which makes double-release idempotent.
 	extraRefs atomic.Int32
+
+	// pinned exempts the view's pages from tier demotion (not from
+	// whole-view eviction — the pre-tiering lifecycle is unchanged for
+	// pinned views). Views created through the legacy creation surface
+	// are pinned, so enabling tiering never slows a pre-existing caller.
+	// Atomic: the engine sets it under the exclusive room, the autopilot
+	// reads it under the scan room.
+	pinned atomic.Bool
 }
 
 // NewFull wraps a column's always-present full view. Releasing it is a
@@ -157,6 +165,12 @@ func (v *View) SetRange(lo, hi uint64) {
 	}
 	v.lo, v.hi = lo, hi
 }
+
+// SetPinned marks or unmarks the view as exempt from tier demotion.
+func (v *View) SetPinned(p bool) { v.pinned.Store(p) }
+
+// Pinned reports whether the view's pages are exempt from tier demotion.
+func (v *View) Pinned() bool { return v.pinned.Load() }
 
 // Covers reports whether the view's range fully contains [lo, hi].
 func (v *View) Covers(lo, hi uint64) bool { return v.lo <= lo && hi <= v.hi }

@@ -1,0 +1,302 @@
+package asv
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTieredScanEquivalence: a tiered column answers every query
+// byte-identically to an untiered twin over all generators, lazy and
+// eager — before demotion, with every page demoted to the capacity
+// tier, and after the scans' touches promoted pages back under budget.
+func TestTieredScanEquivalence(t *testing.T) {
+	const pages = 64
+	for _, mode := range []struct {
+		name string
+		lazy bool
+	}{{"lazy", true}, {"eager", false}} {
+		for _, gname := range GeneratorNames() {
+			t.Run(mode.name+"/"+gname, func(t *testing.T) {
+				db, err := Open(Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer db.Close()
+				cfg := DefaultConfig()
+				cfg.LazyViews = mode.lazy
+				tiered, err := db.CreateColumn("tiered", pages,
+					WithTiering(cfg, TierConfig{HotFrames: pages / 4, NoStall: true}))
+				if err != nil {
+					t.Fatal(err)
+				}
+				plain, err := db.CreateColumn("plain", pages, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, col := range []*Column{tiered, plain} {
+					g, err := GeneratorByName(gname, 42, 0, 1_000_000, pages)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := col.Fill(g); err != nil {
+						t.Fatal(err)
+					}
+				}
+				check := func(stage string) {
+					t.Helper()
+					for i := 0; i < 20; i++ {
+						lo := uint64(i*83651) % 900_000
+						hi := lo + 100_000
+						rt, err := tiered.Query(lo, hi)
+						if err != nil {
+							t.Fatal(err)
+						}
+						rp, err := plain.Query(lo, hi)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if rt.Count != rp.Count || rt.Sum != rp.Sum {
+							t.Fatalf("%s query %d: tiered (%d,%d) != plain (%d,%d)",
+								stage, i, rt.Count, rt.Sum, rp.Count, rp.Sum)
+						}
+					}
+				}
+				check("hot")
+				tier := tiered.eng.Tier()
+				for p := 0; p < pages; p++ {
+					tier.Demote(p)
+				}
+				check("cold")
+
+				ms := tiered.MemoryStats()
+				if !ms.Tiered || ms.Demotions < pages || ms.ColdTouches == 0 || ms.StallNanos == 0 {
+					t.Fatalf("tiered MemoryStats left no trace: %+v", ms)
+				}
+				if ms.HotFrames+ms.ColdFrames != ms.Pages {
+					t.Fatalf("occupancy does not cover pages: %+v", ms)
+				}
+				mp := plain.MemoryStats()
+				if mp.Tiered || mp.HotFraction != 1 || mp.HotFrames != pages {
+					t.Fatalf("untiered MemoryStats: %+v", mp)
+				}
+			})
+		}
+	}
+}
+
+// TestCreateViewWrapperEquivalence: the legacy creation trio
+// (CreateView/CreateViews/CreateViewsBatch) must be byte-equivalent to
+// the CreateViewOpt calls it documents wrapping — same view set, same
+// telemetry, same pin flags — and CreateViewOpt without Pinned builds
+// demotable views.
+func TestCreateViewWrapperEquivalence(t *testing.T) {
+	const pages = 64
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ranges := []ViewRange{
+		{Lo: 100_000, Hi: 200_000},
+		{Lo: 400_000, Hi: 500_000},
+		{Lo: 700_000, Hi: 800_000},
+	}
+	newCol := func(name string) *Column {
+		col, err := db.CreateColumn(name, pages, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := col.Fill(Sine(11, 0, 1_000_000, 8)); err != nil {
+			t.Fatal(err)
+		}
+		return col
+	}
+
+	legacy := newCol("legacy")
+	if err := legacy.CreateView(ranges[0].Lo, ranges[0].Hi); err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.CreateViews(ranges[1:]); err != nil {
+		t.Fatal(err)
+	}
+	direct := newCol("direct")
+	if err := direct.CreateViewOpt(ranges[0].Lo, ranges[0].Hi, Pinned()); err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.CreateViewOpt(ranges[1].Lo, ranges[1].Hi, Batch(ranges[2]), Pinned()); err != nil {
+		t.Fatal(err)
+	}
+	alias := newCol("alias")
+	if err := alias.CreateView(ranges[0].Lo, ranges[0].Hi); err != nil {
+		t.Fatal(err)
+	}
+	if err := alias.CreateViewsBatch(ranges[1:]); err != nil {
+		t.Fatal(err)
+	}
+
+	want := legacy.Views()
+	if len(want) != len(ranges) {
+		t.Fatalf("legacy views: %d, want %d", len(want), len(ranges))
+	}
+	for name, col := range map[string]*Column{"direct": direct, "alias": alias} {
+		if got := col.Views(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s views %+v != legacy %+v", name, got, want)
+		}
+		got, wantStats := col.Stats(), legacy.Stats()
+		// PublishNanos is wall time — the one field allowed to differ.
+		got.PublishNanos, wantStats.PublishNanos = 0, 0
+		if got != wantStats {
+			t.Fatalf("%s telemetry %+v != legacy %+v", name, got, wantStats)
+		}
+		for i, v := range col.eng.Views() {
+			if !v.Pinned() {
+				t.Fatalf("%s view %d not pinned", name, i)
+			}
+		}
+	}
+
+	// Without Pinned, CreateViewOpt builds demotable views — the one
+	// behaviour the wrappers deliberately exclude.
+	loose := newCol("loose")
+	if err := loose.CreateViewOpt(ranges[0].Lo, ranges[0].Hi); err != nil {
+		t.Fatal(err)
+	}
+	if loose.eng.Views()[0].Pinned() {
+		t.Fatal("optionless CreateViewOpt pinned its view")
+	}
+
+	// Lazy/Eager override the column default per call.
+	if err := loose.CreateViewOpt(ranges[1].Lo, ranges[1].Hi, Eager()); err != nil {
+		t.Fatal(err)
+	}
+	vs := loose.eng.Views()
+	if !vs[0].Lazy() {
+		t.Fatal("default view not lazy under Config.LazyViews")
+	}
+	if vs[1].Lazy() {
+		t.Fatal("Eager() view is lazy")
+	}
+}
+
+// TestTieredSnapshotRace races tier demotion/promotion, pinned Snapshot
+// readers, live queries, fire-and-forget updates and the autopilot's
+// lifecycle against each other. Snapshot reads must stay repeatable and
+// live answers must match an untiered twin column throughout. Runs under
+// -race in CI's stress step (matched by both 'Snapshot' and 'Tiered').
+func TestTieredSnapshotRace(t *testing.T) {
+	const pages = 96
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	cfg := WithTiering(
+		WithAutopilot(DefaultConfig(), AutopilotConfig{
+			MaintainInterval: time.Millisecond,
+			MaxFlushLatency:  time.Millisecond,
+			TierHighWater:    0.5,
+			TierLowWater:     0.25,
+		}),
+		TierConfig{HotFrames: pages / 2, NoStall: true},
+	)
+	col, err := db.CreateColumn("hot", pages, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Fill(Uniform(21, 0, 1_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	tier := col.eng.Tier()
+
+	var stop atomic.Bool
+	errs := make(chan error, 16)
+	var wg sync.WaitGroup
+
+	// Tier churn: demote and promote pages as fast as possible.
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			tier.Demote(i % pages)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			tier.Promote((i * 7) % pages)
+		}
+	}()
+
+	// Pinned snapshot readers: answers within one snapshot must repeat
+	// exactly, no matter what migrates underneath.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				snap, err := col.Snapshot()
+				if err != nil {
+					errs <- err
+					return
+				}
+				lo := (seed + uint64(i)*131) % 800_000
+				hi := lo + 150_000
+				first, err := snap.Query(lo, hi)
+				if err == nil {
+					var again Result
+					again, err = snap.Query(lo, hi)
+					if err == nil && (again.Count != first.Count || again.Sum != first.Sum) {
+						err = fmt.Errorf("snapshot read moved: (%d,%d) then (%d,%d)",
+							first.Count, first.Sum, again.Count, again.Sum)
+					}
+				}
+				snap.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(uint64(r) * 977)
+	}
+
+	// Live readers and writers.
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			lo := uint64(i*211) % 800_000
+			if _, err := col.Query(lo, lo+100_000); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			if err := col.Update((i*37)%col.Rows(), uint64(i)); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	time.Sleep(150 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := col.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	ms := col.MemoryStats()
+	if !ms.Tiered || ms.HotFrames+ms.ColdFrames != ms.Pages {
+		t.Fatalf("inconsistent tier occupancy after the race: %+v", ms)
+	}
+}

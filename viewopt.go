@@ -1,0 +1,90 @@
+package asv
+
+import (
+	"github.com/asv-db/asv/internal/core"
+)
+
+// This file is the options-based view-creation surface: one CreateViewOpt
+// entry point the historical CreateView/CreateViews/CreateViewsBatch
+// trio now wraps, mirroring the QueryOpt redesign of the read surface.
+
+// ViewOption configures a CreateViewOpt call; see Lazy, Eager, Pinned
+// and Batch.
+type ViewOption func(*viewCreateOptions)
+
+// viewCreateOptions is the accumulated option state of one CreateViewOpt
+// call: per-view overrides plus the extra ranges a Batch option adds to
+// the same single-scan creation.
+type viewCreateOptions struct {
+	lazy    bool
+	hasLazy bool
+	pinned  bool
+	extra   []ViewRange
+}
+
+// Lazy defers the views' materialization to first access regardless of
+// the column's Config.LazyViews: creation records which physical page
+// backs each slot and returns without mapping anything; demand mmap and
+// soft-TLB resolution happen on the first query touching a slot.
+func Lazy() ViewOption {
+	return func(o *viewCreateOptions) { o.lazy, o.hasLazy = true, true }
+}
+
+// Eager materializes the views in full at creation regardless of the
+// column's Config.LazyViews — the inverse of Lazy.
+func Eager() ViewOption {
+	return func(o *viewCreateOptions) { o.lazy, o.hasLazy = false, true }
+}
+
+// Pinned exempts the views' pages from tier demotion: the autopilot's
+// hot-tier pressure duty never moves a pinned view's pages to the
+// capacity tier (the temperature-driven whole-view eviction of cold
+// views still applies). The legacy creation surface pins every view, so
+// enabling tiering never slows an explicitly requested hot range; views
+// created adaptively by queries — and CreateViewOpt views without this
+// option — are demotable.
+func Pinned() ViewOption {
+	return func(o *viewCreateOptions) { o.pinned = true }
+}
+
+// Batch adds more ranges to the same creation call: the primary
+// [lo, hi] of CreateViewOpt plus every Batch range are built in one
+// qualification scan of the column and published in one state swap,
+// each view inheriting the call's Lazy/Eager/Pinned settings.
+// Semantically identical to one CreateViewOpt call per range, at the
+// cost of a single scan and publication — the many-views experiments
+// stand up thousands of views this way.
+func Batch(specs ...ViewRange) ViewOption {
+	return func(o *viewCreateOptions) { o.extra = append(o.extra, specs...) }
+}
+
+// CreateViewOpt eagerly builds one partial view over [lo, hi] — plus one
+// per Batch range — according to the options, bypassing adaptivity:
+//
+//	err := col.CreateViewOpt(lo, hi, asv.Lazy(), asv.Pinned())
+//	err = col.CreateViewOpt(lo, hi, asv.Batch(more...))
+//
+// Without options the views follow the column's Config (LazyViews) and
+// are demotable by the tier lifecycle, exactly like adaptively created
+// views. All views of one call are built in a single column pass and
+// published atomically; on any error nothing is inserted.
+func (c *Column) CreateViewOpt(lo, hi uint64, opts ...ViewOption) error {
+	var o viewCreateOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	specs := make([]core.ViewSpec, 0, 1+len(o.extra))
+	add := func(lo, hi uint64) {
+		specs = append(specs, core.ViewSpec{
+			Lo: lo, Hi: hi,
+			Lazy: o.lazy, HasLazy: o.hasLazy,
+			Pinned: o.pinned,
+		})
+	}
+	add(lo, hi)
+	for _, r := range o.extra {
+		add(r.Lo, r.Hi)
+	}
+	_, err := c.eng.CreateViewsOpt(specs)
+	return err
+}
