@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/token"
+)
+
+// AnalyzerNames are the five analyzers in the suite, in the order they
+// run. The self-test asserts every one of them fires on its seeded
+// fixture, so a silently dead analyzer fails CI like a violation.
+var AnalyzerNames = []string{"locked", "immutable", "paired", "atomicfield", "droppederr"}
+
+type analyzerFunc func(*Module) []Diagnostic
+
+var analyzerFuncs = map[string]analyzerFunc{
+	"locked":      runLocked,
+	"immutable":   runImmutable,
+	"paired":      runPaired,
+	"atomicfield": runAtomicField,
+	"droppederr":  runDroppedErr,
+}
+
+// Run loads the packages matched by patterns (relative to dir), builds
+// the module-wide directive index, runs all five analyzers, applies
+// //asv:allow suppressions, and returns the surviving findings with
+// module-relative positions, deterministically ordered.
+func Run(dir string, patterns []string) ([]Diagnostic, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := ModuleDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	pkgs, err := Load(fset, dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	m := buildModule(fset, pkgs, root)
+
+	diags := append([]Diagnostic(nil), m.diags...)
+	for _, name := range AnalyzerNames {
+		diags = append(diags, analyzerFuncs[name](m)...)
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if m.lines.allowed(d.Analyzer, d.Pos) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	diags = kept
+
+	for i := range diags {
+		diags[i].Pos.Filename = shortPath(diags[i].Pos.Filename, root)
+	}
+	sortDiags(diags)
+	return diags, nil
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// The immutable analyzer enforces immutable-after-publish: a field of a
+// type annotated //asv:immutable may only be assigned in the file that
+// declares the type — the constructor file, where the value is built
+// before it becomes visible to other goroutines. Everywhere else, a
+// field assignment (or ++/--) is a write to state a concurrent reader
+// may already be routing through, and is reported.
+//
+// The check is field-assignment granular: mutating methods called on a
+// field's value, or writes through a pointer stored in a field, are out
+// of scope (and out of idiom for the annotated types).
+func runImmutable(m *Module) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range m.pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch nn := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range nn.Lhs {
+						diags = m.checkImmutableWrite(pkg, lhs, diags)
+					}
+				case *ast.IncDecStmt:
+					diags = m.checkImmutableWrite(pkg, nn.X, diags)
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+func (m *Module) checkImmutableWrite(pkg *Package, lhs ast.Expr, diags []Diagnostic) []Diagnostic {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return diags
+	}
+	selection, ok := pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return diags
+	}
+	named := namedOf(selection.Recv())
+	if named == nil {
+		return diags
+	}
+	declFile, annotated := m.immutable[typeKey(named)]
+	if !annotated {
+		return diags
+	}
+	pos := m.fset.Position(sel.Pos())
+	if pos.Filename == declFile {
+		return diags
+	}
+	return append(diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: "immutable",
+		Message: fmt.Sprintf("%s.%s is a field of immutable type %s and may only be assigned in %s",
+			named.Obj().Name(), sel.Sel.Name, named.Obj().Name(), shortPath(declFile, m.root)),
+	})
+}

@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// funcFacts are the lock-discipline facts attached to one function:
+// what its callers must hold, and what calling it acquires or releases.
+type funcFacts struct {
+	requires string
+	acquires string
+	releases string
+}
+
+// Module is the fully-loaded analysis unit: every type-checked package
+// plus the module-wide directive index the analyzers consult. Building
+// it is two passes — a comment scan that collects line directives and
+// reports malformed ones, then a declaration walk that binds doc
+// directives to their function/type objects.
+type Module struct {
+	fset *token.FileSet
+	pkgs []*Package
+	root string
+
+	funcs     map[string]funcFacts // funcKey -> facts
+	immutable map[string]string    // typeKey -> declaring filename
+	lines     *lineDirectives
+	pkgPaths  map[string]bool // import paths loaded from source
+
+	diags []Diagnostic // directive findings (malformed, misplaced)
+}
+
+func buildModule(fset *token.FileSet, pkgs []*Package, root string) *Module {
+	m := &Module{
+		fset:      fset,
+		pkgs:      pkgs,
+		root:      root,
+		funcs:     make(map[string]funcFacts),
+		immutable: make(map[string]string),
+		lines:     newLineDirectives(),
+		pkgPaths:  make(map[string]bool),
+	}
+	// Lock facts the analyzers know without annotations: the standard
+	// mutexes establish the generic "mu" mode.
+	for _, recv := range []string{"(*sync.Mutex)", "(*sync.RWMutex)"} {
+		m.funcs[recv+".Lock"] = funcFacts{acquires: modeMu}
+		m.funcs[recv+".Unlock"] = funcFacts{releases: modeMu}
+	}
+	m.funcs["(*sync.RWMutex).RLock"] = funcFacts{acquires: modeMu}
+	m.funcs["(*sync.RWMutex).RUnlock"] = funcFacts{releases: modeMu}
+
+	// Pass 1: every comment in every file. Line directives register for
+	// lookup; malformed //asv: comments become findings; well-formed
+	// declaration-scoped directives are remembered so pass 2 can detect
+	// ones that failed to attach to a declaration.
+	declScoped := make(map[string]directive) // "file:line:col" -> directive
+	for _, pkg := range pkgs {
+		m.pkgPaths[pkg.ImportPath] = true
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					pos := fset.Position(c.Pos())
+					d, ok, err := parseDirective(c, pos)
+					if !ok {
+						continue
+					}
+					if err != nil {
+						m.diags = append(m.diags, Diagnostic{Pos: pos, Analyzer: "directive", Message: err.Error()})
+						continue
+					}
+					switch d.name {
+					case "handoff", "ignore-err", "allow":
+						m.lines.add(d)
+					default:
+						declScoped[posKey(pos)] = d
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2: bind doc directives to declarations.
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch dd := decl.(type) {
+				case *ast.FuncDecl:
+					m.bindFuncDirectives(pkg, dd, declScoped)
+				case *ast.GenDecl:
+					if dd.Tok == token.TYPE {
+						m.bindTypeDirectives(pkg, dd, declScoped)
+					}
+				}
+			}
+		}
+	}
+
+	// Anything left in declScoped was a declaration-scoped directive
+	// that no declaration's doc comment consumed — a blank line between
+	// the comment and the decl, or a directive on a statement. That is
+	// an invariant silently not being checked: report it.
+	for _, d := range declScoped {
+		m.diags = append(m.diags, Diagnostic{
+			Pos:      d.pos,
+			Analyzer: "directive",
+			Message:  fmt.Sprintf("asv:%s is not attached to a declaration (it must be part of the doc comment)", d.name),
+		})
+	}
+	return m
+}
+
+func posKey(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}
+
+func (m *Module) bindFuncDirectives(pkg *Package, fd *ast.FuncDecl, declScoped map[string]directive) {
+	obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	for _, d := range docDirectives(m.fset, fd.Doc, func(directive, error) {}) {
+		switch d.name {
+		case "locked", "acquires", "releases":
+			delete(declScoped, posKey(d.pos))
+			if obj == nil {
+				continue
+			}
+			facts := m.funcs[funcKey(obj)]
+			switch d.name {
+			case "locked":
+				facts.requires = d.arg
+			case "acquires":
+				facts.acquires = d.arg
+			case "releases":
+				facts.releases = d.arg
+			}
+			m.funcs[funcKey(obj)] = facts
+		case "immutable":
+			m.diags = append(m.diags, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "directive",
+				Message:  "asv:immutable applies to type declarations, not functions",
+			})
+			delete(declScoped, posKey(d.pos))
+		}
+	}
+}
+
+func (m *Module) bindTypeDirectives(pkg *Package, gd *ast.GenDecl, declScoped map[string]directive) {
+	for _, spec := range gd.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		doc := ts.Doc
+		if doc == nil {
+			doc = gd.Doc
+		}
+		for _, d := range docDirectives(m.fset, doc, func(directive, error) {}) {
+			if d.name != "immutable" {
+				if d.name == "locked" || d.name == "acquires" || d.name == "releases" {
+					m.diags = append(m.diags, Diagnostic{
+						Pos:      d.pos,
+						Analyzer: "directive",
+						Message:  fmt.Sprintf("asv:%s applies to function declarations, not types", d.name),
+					})
+					delete(declScoped, posKey(d.pos))
+				}
+				continue
+			}
+			delete(declScoped, posKey(d.pos))
+			if obj, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+				key := pkg.Types.Path() + "." + obj.Name()
+				m.immutable[key] = m.fset.Position(ts.Pos()).Filename
+			}
+		}
+	}
+}
+
+// factsOf returns the lock facts for a resolved function, whether it
+// was annotated in source or is one of the built-in mutex methods.
+func (m *Module) factsOf(obj types.Object) funcFacts {
+	f, ok := obj.(*types.Func)
+	if !ok || f == nil {
+		return funcFacts{}
+	}
+	return m.funcs[funcKey(f)]
+}
+
+// requirementOf returns the lock mode callers of f must hold: the
+// explicit annotation when present, else modeAny for module functions
+// following the *Locked naming convention.
+func (m *Module) requirementOf(f *types.Func) string {
+	if facts, ok := m.funcs[funcKey(f)]; ok && facts.requires != "" {
+		return facts.requires
+	}
+	if strings.HasSuffix(f.Name(), "Locked") && f.Pkg() != nil && m.pkgPaths[f.Pkg().Path()] {
+		return modeAny
+	}
+	return ""
+}

@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one type-checked module package: the parsed files plus the
+// go/types results the analyzers consume.
+type Package struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string // absolute paths, in go list order
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *listError
+}
+
+type listError struct {
+	Err string
+}
+
+// Load lists patterns in dir with the go tool and type-checks every
+// matched (non-dependency) package from source. Imports — including
+// intra-module ones — resolve through the compiler export data that
+// `go list -export` wrote to the build cache, so no package is ever
+// type-checked twice and the loader needs nothing outside the standard
+// library.
+func Load(fset *token.FileSet, dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list -export: %v\n%s", err, errBuf.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := checkPackage(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, t listPkg) (*Package, error) {
+	p := &Package{ImportPath: t.ImportPath, Dir: t.Dir}
+	for _, name := range t.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(t.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %v", path, err)
+		}
+		p.GoFiles = append(p.GoFiles, path)
+		p.Files = append(p.Files, f)
+	}
+	p.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tp, err := conf.Check(t.ImportPath, fset, p.Files, p.Info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %v", t.ImportPath, err)
+	}
+	p.Types = tp
+	return p, nil
+}
+
+// ModuleDir walks upward from dir to the enclosing go.mod, the root the
+// driver should run from. It refuses to escape into a parent module by
+// stopping at the first go.mod found.
+func ModuleDir(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// calleeFunc resolves the called function or method of a call
+// expression, or nil for function values, builtins and type
+// conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// funcKey is the module-wide identity of a function: types.Func.FullName
+// ("pkg/path.Fn" or "(pkg/path.Recv).Fn" / "(*pkg/path.Recv).Fn").
+func funcKey(f *types.Func) string { return f.FullName() }
+
+// namedOf unwraps pointers and aliases down to the defined type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Alias:
+			t = types.Unalias(tt)
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// typeKey is the module-wide identity of a defined type: "pkg/path.Name".
+func typeKey(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// isErrorType reports whether t is exactly the predeclared error type or
+// implements it. Dropped results are checked against the interface, so a
+// concrete error-typed result is caught too.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if named := namedOf(t); named != nil && named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+		return true
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errType)
+}
+
+// shortPath trims dir prefixes down to a module-relative path for
+// diagnostics, keeping output stable across machines.
+func shortPath(path, root string) string {
+	if root == "" {
+		return path
+	}
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

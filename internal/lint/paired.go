@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// acquireReleasePairs names the module's refcount/allocation protocols:
+// a call to an acquire method obligates the calling function to either
+// call one of the matching release methods somewhere in its body
+// (deferred or not — the check is flow-insensitive by design, so any
+// release on any path counts) or to carry an //asv:handoff line
+// directive stating that ownership transfers (stored in a struct,
+// returned to the caller, parked for a later reclaim walk).
+//
+// The names are method names, not full symbols, on purpose: every
+// Retain in the module follows the same protocol, and the fixture
+// corpus exercises the analyzer without importing engine internals.
+var acquireReleasePairs = map[string][]string{
+	"Retain":          {"Release"},
+	"CaptureSnapshot": {"FreeFrame"},
+	"allocFrame":      {"freeFrame", "FreeFrame"},
+	"AllocFrame":      {"FreeFrame", "freeFrame"},
+	"Snapshot":        {"Close", "ReleaseViews"},
+}
+
+func runPaired(m *Module) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range m.pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				diags = append(diags, m.checkPairedFunc(pkg, fd)...)
+			}
+		}
+	}
+	return diags
+}
+
+func (m *Module) checkPairedFunc(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	// One flow-insensitive pass: every callee name present in the body,
+	// plus the acquire call sites to check.
+	present := make(map[string]bool)
+	type acquireSite struct {
+		call *ast.CallExpr
+		name string
+	}
+	var acquires []acquireSite
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(pkg.Info, call)
+		if f == nil {
+			return true
+		}
+		present[f.Name()] = true
+		if _, isAcquire := acquireReleasePairs[f.Name()]; isAcquire {
+			acquires = append(acquires, acquireSite{call, f.Name()})
+		}
+		return true
+	})
+
+	var diags []Diagnostic
+	for _, a := range acquires {
+		released := false
+		for _, rel := range acquireReleasePairs[a.name] {
+			if present[rel] {
+				released = true
+				break
+			}
+		}
+		if released {
+			continue
+		}
+		pos := m.fset.Position(a.call.Pos())
+		if m.lines.handoffAt(pos) {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      pos,
+			Analyzer: "paired",
+			Message: fmt.Sprintf("%s acquires via %s but never calls %s; release on every path or annotate the transfer with //asv:handoff",
+				fd.Name.Name, a.name, orList(acquireReleasePairs[a.name])),
+		})
+	}
+	return diags
+}
+
+func orList(names []string) string {
+	switch len(names) {
+	case 0:
+		return ""
+	case 1:
+		return names[0]
+	default:
+		out := names[0]
+		for _, n := range names[1 : len(names)-1] {
+			out += ", " + n
+		}
+		return out + " or " + names[len(names)-1]
+	}
+}

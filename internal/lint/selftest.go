@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// SelfTest runs the whole suite over the seeded-violation corpus in
+// testdataSrc (a self-contained fixture module) and verifies two
+// things: every diagnostic the suite emits is expected by a
+// `// want "regexp"` comment on that exact line, and every one of the
+// five analyzers fired at least once. A silently dead analyzer —
+// refactored into not matching anything — therefore fails exactly the
+// way a real violation does.
+func SelfTest(testdataSrc string) error {
+	if _, err := os.Stat(filepath.Join(testdataSrc, "go.mod")); err != nil {
+		return fmt.Errorf("selftest: fixture module not found at %s: %v", testdataSrc, err)
+	}
+	diags, err := Run(testdataSrc, []string{"./..."})
+	if err != nil {
+		return fmt.Errorf("selftest: %v", err)
+	}
+	wants, err := collectWants(testdataSrc)
+	if err != nil {
+		return err
+	}
+
+	fired := make(map[string]bool)
+	var problems []string
+	for _, d := range diags {
+		fired[d.Analyzer] = true
+		key := lineKey(filepath.ToSlash(d.Pos.Filename), d.Pos.Line)
+		matched := false
+		got := fmt.Sprintf("[%s] %s", d.Analyzer, d.Message)
+		for i, w := range wants[key] {
+			if w != nil && w.MatchString(got) {
+				wants[key][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if w != nil {
+				problems = append(problems, fmt.Sprintf("%s: expected diagnostic matching %q never reported", k, w))
+			}
+		}
+	}
+	for _, name := range AnalyzerNames {
+		if !fired[name] {
+			problems = append(problems, fmt.Sprintf("analyzer %q never fired on its seeded fixture", name))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("selftest failed:\n  %s", strings.Join(problems, "\n  "))
+	}
+	return nil
+}
+
+var (
+	wantLineRe = regexp.MustCompile(`//\s*want\s+(.+)$`)
+	// A want argument is one regexp, backtick- or double-quoted.
+	wantArgRe = regexp.MustCompile("`([^`]+)`|\"((?:[^\"\\\\]|\\\\.)+)\"")
+)
+
+// collectWants scans every fixture .go file for `// want "re"` comments,
+// keyed by module-relative "file:line".
+func collectWants(root string) (map[string][]*regexp.Regexp, error) {
+	wants := make(map[string][]*regexp.Regexp)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			mm := wantLineRe.FindStringSubmatch(sc.Text())
+			if mm == nil {
+				continue
+			}
+			for _, arg := range wantArgRe.FindAllStringSubmatch(mm[1], -1) {
+				pat := arg[1]
+				if pat == "" {
+					pat = arg[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want pattern %q: %v", rel, line, pat, err)
+				}
+				key := lineKey(rel, line)
+				wants[key] = append(wants[key], re)
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return wants, nil
+}

@@ -1,0 +1,17 @@
+// Package atomicclean exercises the atomicfield analyzer's legal
+// idiom: every access to the shared field goes through sync/atomic.
+package atomicclean
+
+import "sync/atomic"
+
+type counters struct {
+	queries uint64
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.queries, 1)
+}
+
+func (c *counters) read() uint64 {
+	return atomic.LoadUint64(&c.queries)
+}

@@ -1,0 +1,18 @@
+// Package atomicpos seeds a violation for the atomicfield analyzer: a
+// field updated through sync/atomic in one method and read plainly in
+// another.
+package atomicpos
+
+import "sync/atomic"
+
+type counters struct {
+	queries uint64
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.queries, 1)
+}
+
+func (c *counters) read() uint64 {
+	return c.queries // want `\[atomicfield\] field fixture.example/atomicpos.counters.queries is accessed with sync/atomic elsewhere`
+}

@@ -1,0 +1,17 @@
+// Package errclean exercises the droppederr analyzer's legal idioms:
+// handled errors and annotated intentional drops.
+package errclean
+
+import "errors"
+
+func fails() error {
+	return errors.New("nope")
+}
+
+func handled() error {
+	if err := fails(); err != nil {
+		return err
+	}
+	_ = fails() //asv:ignore-err fixture: the second failure is expected and uninteresting
+	return nil
+}

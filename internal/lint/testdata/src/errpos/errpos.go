@@ -1,0 +1,19 @@
+// Package errpos seeds violations for the droppederr analyzer: error
+// results assigned to the blank identifier without a reason.
+package errpos
+
+import "errors"
+
+func fails() error {
+	return errors.New("nope")
+}
+
+func twoVals() (int, error) {
+	return 0, errors.New("nope")
+}
+
+func drop() int {
+	_ = fails()       // want `\[droppederr\] error result discarded`
+	n, _ := twoVals() // want `\[droppederr\] error result discarded`
+	return n
+}

@@ -1,0 +1,18 @@
+// Package immutableclean exercises the immutable analyzer's legal
+// idioms: construction and mutation confined to the declaring file,
+// reads anywhere.
+package immutableclean
+
+// state is published immutable-after-construction.
+//
+//asv:immutable
+type state struct {
+	gen uint64
+}
+
+// newState builds and may freely initialize the value.
+func newState(gen uint64) *state {
+	s := &state{}
+	s.gen = gen
+	return s
+}

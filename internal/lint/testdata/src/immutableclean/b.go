@@ -1,0 +1,6 @@
+package immutableclean
+
+func read() uint64 {
+	s := newState(1)
+	return s.gen
+}

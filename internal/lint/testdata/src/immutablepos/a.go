@@ -1,0 +1,18 @@
+// Package immutablepos seeds a violation for the immutable analyzer: a
+// field write to an //asv:immutable type outside its declaring file.
+package immutablepos
+
+// state is published immutable-after-construction.
+//
+//asv:immutable
+type state struct {
+	gen  uint64
+	tags []string
+}
+
+// newState is the constructor; field writes in this file are legal.
+func newState(gen uint64) *state {
+	s := &state{tags: nil}
+	s.gen = gen
+	return s
+}

@@ -1,0 +1,8 @@
+package immutablepos
+
+func mutate() *state {
+	s := newState(1)
+	s.gen = 7 // want `\[immutable\] state.gen is a field of immutable type state`
+	s.gen++   // want `\[immutable\] state.gen is a field of immutable type state`
+	return s
+}

@@ -1,0 +1,44 @@
+// Package lockedclean exercises the locked analyzer's legal idioms:
+// acquire-then-call, deferred release, mode propagation through an
+// annotated caller, and blocking work done outside the room.
+package lockedclean
+
+import "time"
+
+type room struct{ held bool }
+
+// Lock enters the exclusive room.
+//
+//asv:acquires=exclusive
+func (r *room) Lock() { r.held = true }
+
+// Unlock leaves the exclusive room.
+//
+//asv:releases=exclusive
+func (r *room) Unlock() { r.held = false }
+
+// publishLocked must run under the exclusive room.
+//
+//asv:locked=exclusive
+func (r *room) publishLocked() {}
+
+// maintainLocked holds exclusive by contract, so it may call the other
+// helper without acquiring anything itself.
+//
+//asv:locked=exclusive
+func (r *room) maintainLocked() { r.publishLocked() }
+
+func direct(r *room) {
+	r.Lock()
+	defer r.Unlock()
+	r.publishLocked()
+	r.maintainLocked()
+}
+
+func outside(r *room, ch chan int) {
+	r.Lock()
+	r.publishLocked()
+	r.Unlock()
+	<-ch
+	time.Sleep(time.Millisecond)
+}

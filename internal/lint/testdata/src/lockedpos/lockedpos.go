@@ -1,0 +1,55 @@
+// Package lockedpos seeds violations for the locked analyzer: calls to
+// mode-requiring functions without the mode, blocking operations under
+// the exclusive room, and nested room acquisition.
+package lockedpos
+
+import "time"
+
+type room struct{ held bool }
+
+// Lock enters the exclusive room.
+//
+//asv:acquires=exclusive
+func (r *room) Lock() { r.held = true }
+
+// Unlock leaves the exclusive room.
+//
+//asv:releases=exclusive
+func (r *room) Unlock() { r.held = false }
+
+// publishLocked must run under the exclusive room.
+//
+//asv:locked=exclusive
+func (r *room) publishLocked() {}
+
+// flushLocked relies on the naming convention alone: callers must hold
+// some recognized lock.
+func flushLocked() {}
+
+func bad(r *room) {
+	r.publishLocked() // want `\[locked\] call to publishLocked requires lock mode "exclusive", but bad holds no lock`
+}
+
+func good(r *room) {
+	r.Lock()
+	r.publishLocked()
+	r.Unlock()
+}
+
+func callsNaked() {
+	flushLocked() // want `\[locked\] call to flushLocked requires lock mode "any", but callsNaked holds no lock`
+}
+
+func blocky(r *room, ch chan int) {
+	r.Lock()
+	defer r.Unlock()
+	<-ch                         // want `\[locked\] channel receive while the exclusive room is held`
+	time.Sleep(time.Millisecond) // want `\[locked\] calling Sleep while the exclusive room is held`
+}
+
+func nested(r *room) {
+	r.Lock()
+	r.Lock() // want `\[locked\] acquiring the exclusive room while a room is already held`
+	r.Unlock()
+	r.Unlock()
+}

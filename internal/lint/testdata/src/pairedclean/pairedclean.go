@@ -1,0 +1,37 @@
+// Package pairedclean exercises the paired analyzer's legal idioms:
+// deferred release, release on the error path, and explicit ownership
+// handoff.
+package pairedclean
+
+import "errors"
+
+type handle struct{ refs int }
+
+func (h *handle) Retain() {
+	h.refs++
+}
+
+func (h *handle) Release() error {
+	h.refs--
+	return nil
+}
+
+var errBoom = errors.New("boom")
+
+var registry []*handle
+
+func deferred(h *handle, fail bool) error {
+	h.Retain()
+	defer func() {
+		_ = h.Release() //asv:ignore-err fixture teardown; refcount cannot fail
+	}()
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+func stash(h *handle) {
+	h.Retain() //asv:handoff ownership moves to the package registry until shutdown
+	registry = append(registry, h)
+}

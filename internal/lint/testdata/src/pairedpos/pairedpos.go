@@ -1,0 +1,27 @@
+// Package pairedpos seeds a violation for the paired analyzer: a
+// refcount acquired on a path that can return early without a matching
+// release and without a handoff annotation.
+package pairedpos
+
+import "errors"
+
+type handle struct{ refs int }
+
+func (h *handle) Retain() {
+	h.refs++
+}
+
+func (h *handle) Release() error {
+	h.refs--
+	return nil
+}
+
+var errBoom = errors.New("boom")
+
+func leaky(h *handle, fail bool) error {
+	h.Retain() // want `\[paired\] leaky acquires via Retain but never calls Release`
+	if fail {
+		return errBoom
+	}
+	return nil
+}
