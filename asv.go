@@ -139,7 +139,7 @@ func (db *DB) CreateColumn(name string, numPages int, cfg Config) (*Column, erro
 	}
 	eng, err := core.NewEngine(sc, cfg)
 	if err != nil {
-		_ = sc.Close()
+		_ = sc.Close() //asv:ignore-err unwinding failed engine construction; the construction error is returned
 		return nil, err
 	}
 	c := &Column{db: db, col: sc, eng: eng, name: name}

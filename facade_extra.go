@@ -101,7 +101,7 @@ func (c *Column) Save(path string) error {
 		return err
 	}
 	if _, err := c.col.WriteTo(f); err != nil {
-		_ = f.Close()
+		_ = f.Close() //asv:ignore-err the write error is returned; closing the ruined file is best-effort
 		return err
 	}
 	return f.Close()
@@ -133,7 +133,7 @@ func (db *DB) ReadColumn(name string, r io.Reader, cfg Config) (*Column, error) 
 	}
 	eng, err := core.NewEngine(sc, cfg)
 	if err != nil {
-		_ = sc.Close()
+		_ = sc.Close() //asv:ignore-err unwinding failed engine construction; the construction error is returned
 		return nil, err
 	}
 	c := &Column{db: db, col: sc, eng: eng, name: name}

@@ -131,6 +131,7 @@ type Stats struct {
 	ViewsRebuilt    uint64 // fragmented views rebuilt by the autopilot lifecycle
 	StatePublishes  uint64 // routed-read states published (epoch swaps)
 	PublishNanos    uint64 // cumulative wall time of state publication, ns
+	PublishErrors   uint64 // failed publication attempts (capture snapshot errors)
 	RetireErrors    uint64 // errors surfaced while retiring drained states
 }
 
@@ -152,6 +153,7 @@ type engineStats struct {
 	viewsRebuilt    atomic.Uint64
 	publishes       atomic.Uint64
 	publishNanos    atomic.Uint64
+	publishErrors   atomic.Uint64
 	retireErrors    atomic.Uint64
 }
 
@@ -172,6 +174,7 @@ func (s *engineStats) snapshot() Stats {
 		ViewsRebuilt:    s.viewsRebuilt.Load(),
 		StatePublishes:  s.publishes.Load(),
 		PublishNanos:    s.publishNanos.Load(),
+		PublishErrors:   s.publishErrors.Load(),
 		RetireErrors:    s.retireErrors.Load(),
 	}
 }
@@ -192,6 +195,7 @@ func (s *engineStats) reset() {
 	s.viewsRebuilt.Store(0)
 	s.publishes.Store(0)
 	s.publishNanos.Store(0)
+	s.publishErrors.Store(0)
 	s.retireErrors.Store(0)
 }
 
@@ -313,12 +317,12 @@ func (e *Engine) CreateView(lo, hi uint64) (*view.View, error) {
 	// a pre-existing caller's explicitly requested hot range.
 	v.SetPinned(true)
 	if err := e.set.Insert(v); err != nil {
-		_ = v.Release()
+		_ = v.Release() //asv:ignore-err unwinding a failed insert; the insert error is returned
 		return nil, err
 	}
 	if err := e.publishStateLocked(); err != nil {
 		e.set.Remove(v)
-		_ = v.Release()
+		_ = v.Release() //asv:ignore-err unwinding a failed publication; the publish error is returned
 		return nil, err
 	}
 	return v, nil
@@ -329,7 +333,10 @@ type ViewRange struct{ Lo, Hi uint64 }
 
 // ViewSpec is one view request of the options-based creation surface:
 // the covered range plus the per-view overrides the facade's ViewOption
-// constructors set.
+// constructors set. Specs are built as literals and never mutated after
+// they are handed to the engine.
+//
+//asv:immutable
 type ViewSpec struct {
 	Lo, Hi uint64
 	// Lazy overrides the engine default (Config.LazyViews / Create.Lazy)
@@ -370,7 +377,7 @@ func (e *Engine) CreateViewsOpt(specs []ViewSpec) ([]*view.View, error) {
 	abort := func(firstErr error) ([]*view.View, error) {
 		for _, b := range builders {
 			if b != nil {
-				_ = b.Abort()
+				_ = b.Abort() //asv:ignore-err aborting half-built views after a prior error; that error is returned
 			}
 		}
 		return nil, firstErr
@@ -411,16 +418,16 @@ func (e *Engine) CreateViewsOpt(specs []ViewSpec) ([]*view.View, error) {
 		if err != nil {
 			for _, w := range views[:i] {
 				e.set.Remove(w)
-				_ = w.Release()
+				_ = w.Release() //asv:ignore-err unwinding batch creation; the build error is returned
 			}
 			return abort(err)
 		}
 		v.SetPinned(sp.Pinned)
 		if err := e.set.Insert(v); err != nil {
-			_ = v.Release()
+			_ = v.Release() //asv:ignore-err unwinding a failed insert; the insert error is returned
 			for _, w := range views[:i] {
 				e.set.Remove(w)
-				_ = w.Release()
+				_ = w.Release() //asv:ignore-err unwinding batch creation; the insert error is returned
 			}
 			return abort(err)
 		}
@@ -429,7 +436,7 @@ func (e *Engine) CreateViewsOpt(specs []ViewSpec) ([]*view.View, error) {
 	if err := e.publishStateLocked(); err != nil {
 		for _, v := range views {
 			e.set.Remove(v)
-			_ = v.Release()
+			_ = v.Release() //asv:ignore-err unwinding a failed publication; the publish error is returned
 		}
 		return nil, err
 	}
@@ -499,7 +506,7 @@ func (e *Engine) RebuildViews() error {
 		v.SetRange(r.lo, r.hi)
 		v.SetPinned(r.pinned)
 		if err := e.set.Insert(v); err != nil {
-			_ = v.Release()
+			_ = v.Release() //asv:ignore-err unwinding a failed insert; the insert error is recorded in firstErr
 			if firstErr == nil {
 				firstErr = err
 			}

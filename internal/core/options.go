@@ -51,7 +51,7 @@ func (e *Engine) QueryOpt(lo, hi uint64, opt QueryOptions) (Answer, error) {
 	}
 	e.stats.queries.Add(1)
 	if e.cfg.RoomLockReads {
-		return e.queryOptRoomLocked(lo, hi, opt)
+		return e.queryOptRoomPath(lo, hi, opt)
 	}
 	if !e.cfg.Adaptive {
 		if err := e.flushPendingForRead(); err != nil {
@@ -89,12 +89,12 @@ func (e *Engine) finishAdaptive(ans *Answer, cand *view.View, gen uint64) error 
 	return e.applyDecision(dec, cand, displaced)
 }
 
-// queryOptRoomLocked is the legacy read path behind Config.RoomLockReads:
+// queryOptRoomPath is the legacy read path behind Config.RoomLockReads:
 // queries enter the scan-shared room like they did before epoch routing,
 // stalling whenever alignment or lifecycle work holds the exclusive
 // room. Answers and side effects are identical — the `snapshot` bench
 // panel keeps this path around to measure what the redesign bought.
-func (e *Engine) queryOptRoomLocked(lo, hi uint64, opt QueryOptions) (Answer, error) {
+func (e *Engine) queryOptRoomPath(lo, hi uint64, opt QueryOptions) (Answer, error) {
 	e.mu.RLock()
 	for e.pendingCount.Load() > 0 {
 		e.mu.RUnlock()
@@ -240,7 +240,7 @@ func (e *Engine) answerStateAdapt(st *engineState, lo, hi uint64, opt QueryOptio
 	}
 	if err := sealAnswer(&ans); err != nil {
 		if cand != nil {
-			_ = cand.Release()
+			_ = cand.Release() //asv:ignore-err discarding the candidate after a seal error; that error is returned
 		}
 		return ans, nil, err
 	}
@@ -372,7 +372,7 @@ func (e *Engine) scanState(st *engineState, lo, hi uint64, collect func(uint64, 
 		qual, excl, err := e.scanPagesAdaptive(n, workers, lo, hi, fetch, emit)
 		if err != nil {
 			if builder != nil {
-				_ = builder.Abort()
+				_ = builder.Abort() //asv:ignore-err aborting the candidate after a scan error; that error is returned
 			}
 			return res, nil, err
 		}

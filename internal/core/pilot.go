@@ -173,7 +173,7 @@ func (t pilotTarget) RebuildView(h any) (bool, error) {
 	// invalidate them like RebuildViews does.
 	e.gen++
 	if !e.set.ReplaceExisting(v, nv) {
-		_ = nv.Release()
+		_ = nv.Release() //asv:ignore-err discarding the loser of the replace race is the designed outcome
 		return false, nil
 	}
 	e.stats.viewsRebuilt.Add(1)

@@ -103,7 +103,7 @@ func (e *Engine) publishCandidate(cand *view.View, gen uint64) (viewset.Decision
 		// discarding) candidates. A failed capture is tolerable here:
 		// the freeze itself stands, publication catches up with the
 		// next successful mutation.
-		_ = e.publishStateLocked()
+		_ = e.publishStateLocked() //asv:ignore-err a failed publication is counted in Stats.PublishErrors and the next successful mutation republishes
 	case viewset.Inserted, viewset.Replaced, viewset.Evicted:
 		if err := e.publishStateLocked(); err != nil {
 			// The set mutated but the capture failed — undo by removing

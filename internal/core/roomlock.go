@@ -47,21 +47,33 @@ type roomLock struct {
 }
 
 // RLock enters the scan-shared room (read-locked query path).
+//
+//asv:acquires=scan
 func (l *roomLock) RLock() { l.enter(roomScan) }
 
 // RUnlock leaves the scan-shared room.
+//
+//asv:releases=scan
 func (l *roomLock) RUnlock() { l.leave() }
 
 // UpdateLock enters the update-shared room (concurrent Update callers).
+//
+//asv:acquires=update
 func (l *roomLock) UpdateLock() { l.enter(roomUpdate) }
 
 // UpdateUnlock leaves the update-shared room.
+//
+//asv:releases=update
 func (l *roomLock) UpdateUnlock() { l.leave() }
 
 // Lock enters the exclusive room (flush/alignment, view-set mutation).
+//
+//asv:acquires=exclusive
 func (l *roomLock) Lock() { l.enter(roomExcl) }
 
 // Unlock leaves the exclusive room.
+//
+//asv:releases=exclusive
 func (l *roomLock) Unlock() { l.leave() }
 
 func (l *roomLock) enter(kind int) {

@@ -58,6 +58,8 @@ func (r *refcount) drained() bool { return r.n.Load() == 0 }
 // retiredFrames and next are written exactly once, under the exclusive
 // room, before the publication reference is dropped — every path that
 // can observe them (the reclaim walk) happens-after that drop.
+//
+//asv:immutable
 type engineState struct {
 	snap   *viewset.Snapshot
 	gen    uint64 // candidate-invalidation generation at publication
@@ -84,8 +86,8 @@ type engineState struct {
 // initState publishes the engine's first state; called from NewEngine
 // before the engine is visible to any other goroutine.
 func (e *Engine) initState() error {
-	fullPages, retired := e.col.CaptureSnapshot()
-	snap, err := e.set.Snapshot(fullPages)
+	fullPages, retired := e.col.CaptureSnapshot() //asv:handoff displaced frames park in e.pendingRetired until the reclaim walk frees them
+	snap, err := e.set.Snapshot(fullPages)        //asv:handoff the capture is owned by the published engineState; reclaim releases it
 	if err != nil {
 		return err
 	}
@@ -135,18 +137,32 @@ func (e *Engine) releaseState(st *engineState) {
 // what readers may observe (alignment, view-set mutation, close) ends
 // with a publication; between publications the current state is
 // immutable by construction.
+//
+//asv:locked=exclusive
 func (e *Engine) publishStateLocked() error {
 	t0 := time.Now()
-	fullPages, retired := e.col.CaptureSnapshot()
+	fullPages, retired := e.col.CaptureSnapshot() //asv:handoff displaced frames ride the retiring state's retiredFrames to the reclaim walk
 	retired = append(retired, e.pendingRetired...)
 	e.pendingRetired = nil
-	snap, err := e.set.Snapshot(fullPages)
+	snap, err := e.set.Snapshot(fullPages) //asv:handoff the capture is owned by the published engineState; reclaim releases it
 	if err != nil {
 		// The epoch already advanced and the displaced frames are out of
 		// the column's hands; park them for the next successful
 		// publication (freeing late is safe, dropping them would leak).
 		e.pendingRetired = retired
+		e.stats.publishErrors.Add(1)
 		return err
+	}
+	// The capture may have dropped the previous delta cache's last
+	// references; a release failure there retires a superseded capture's
+	// view, so it joins the reclaim walk's error accounting.
+	if rerr := e.set.TakeReleaseErr(); rerr != nil {
+		e.stats.retireErrors.Add(1)
+		e.stateMu.Lock()
+		if e.retireErr == nil {
+			e.retireErr = rerr
+		}
+		e.stateMu.Unlock()
 	}
 	st := &engineState{snap: snap, gen: e.gen, closed: e.closed}
 	st.refs.init(1)

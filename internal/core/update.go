@@ -144,6 +144,8 @@ func (e *Engine) PendingUpdates() int {
 // results to the pre-sharding write path. The caller holds the exclusive
 // room, which happens-after every writer's update-room exit, so shard
 // slices are read without their locks.
+//
+//asv:locked=exclusive
 func (e *Engine) takePendingLocked() []Update {
 	n := int(e.pendingCount.Load())
 	if n == 0 {
@@ -165,6 +167,8 @@ func (e *Engine) takePendingLocked() []Update {
 // resetPendingLocked drops all buffered updates (RebuildViews rescans
 // the column, which already holds every applied write). The caller holds
 // the exclusive room.
+//
+//asv:locked=exclusive
 func (e *Engine) resetPendingLocked() {
 	for i := range e.shards {
 		e.shards[i].ups = nil
@@ -200,6 +204,8 @@ func (e *Engine) flushApplied() (UpdateStats, error) {
 
 // flushLocked is FlushUpdates for callers already holding the exclusive
 // room.
+//
+//asv:locked=exclusive
 func (e *Engine) flushLocked() (UpdateStats, error) {
 	return e.alignLocked(e.takePendingLocked())
 }
@@ -219,6 +225,8 @@ func (e *Engine) AlignViews(batch []Update) (UpdateStats, error) {
 // alignLocked is the AlignViews body; the caller holds the exclusive
 // room. Empty batches return immediately and are not counted as update
 // batches — a no-op FlushUpdates must not skew per-batch averages.
+//
+//asv:locked=exclusive
 func (e *Engine) alignLocked(batch []Update) (UpdateStats, error) {
 	st := UpdateStats{BatchSize: len(batch)}
 	if len(batch) == 0 {

@@ -31,7 +31,7 @@ func NewVirtualView(col *storage.Column, lo, hi uint64, opts view.CreateOptions,
 	v.SetRange(lo, hi)
 	ids, err := v.PageIDs()
 	if err != nil {
-		_ = v.Release()
+		_ = v.Release() //asv:ignore-err unwinding failed index construction; the PageIDs error is returned
 		return nil, err
 	}
 	slot := make(map[uint64]int, len(ids))

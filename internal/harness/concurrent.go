@@ -104,7 +104,7 @@ func runConcurrentCell(s Scale, m concurrentMode, clients int) (float64, error) 
 		}
 		eng, err := core.NewEngine(col, m.cfg())
 		if err != nil {
-			_ = col.Close()
+			_ = col.Close() //asv:ignore-err unwinding failed engine construction; the construction error is returned
 			return 0, err
 		}
 

@@ -103,7 +103,10 @@ func RunFig3(sc Scale) (*Table, error) {
 		t.AddRow(row...)
 
 		for _, idx := range variants {
-			_ = idx.Release()
+			if err := idx.Release(); err != nil {
+				mapper.Stop()
+				return nil, fmt.Errorf("fig3: releasing %s: %w", idx.Name(), err)
+			}
 		}
 		mapper.Stop()
 		if err := col.Close(); err != nil {

@@ -62,7 +62,7 @@ func RunFig4(sc Scale, distName string) (*SequenceResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer func() { _ = col.Close() }()
+	defer func() { _ = col.Close() }() //asv:ignore-err benchmark teardown; measurement errors are returned separately
 
 	queries := workload.SelectivitySweep(sc.Seed, sc.Queries, fig4Domain, fig4Domain/2, 5000)
 
@@ -88,12 +88,12 @@ func runSequence(sc Scale, col *storage.Column, cfg core.Config,
 	if err != nil {
 		return nil, err
 	}
-	defer func() { _ = adaptive.Close() }()
+	defer func() { _ = adaptive.Close() }() //asv:ignore-err benchmark teardown; measurement errors are returned separately
 	baseline, err := core.NewEngine(col, core.BaselineConfig())
 	if err != nil {
 		return nil, err
 	}
-	defer func() { _ = baseline.Close() }()
+	defer func() { _ = baseline.Close() }() //asv:ignore-err benchmark teardown; measurement errors are returned separately
 
 	header := []string{"query", "range_width", "adaptive_ms", "scanned_pages", "baseline_ms"}
 	if reportViews {

@@ -19,7 +19,7 @@ func RunFig5(sc Scale, selectivity float64, maxViews int) (*SequenceResult, erro
 	if err != nil {
 		return nil, err
 	}
-	defer func() { _ = col.Close() }()
+	defer func() { _ = col.Close() }() //asv:ignore-err benchmark teardown; measurement errors are returned separately
 
 	queries := workload.FixedSelectivity(sc.Seed, sc.Queries, fig4Domain, selectivity)
 

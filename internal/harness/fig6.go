@@ -55,7 +55,7 @@ func RunFig6(sc Scale, distName string) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer func() { _ = col.Close() }()
+	defer func() { _ = col.Close() }() //asv:ignore-err benchmark teardown; measurement errors are returned separately
 	if err := col.Fill(g); err != nil {
 		return nil, err
 	}

@@ -75,7 +75,7 @@ func runManyViewsCell(s Scale, n int) (create, pub time.Duration, qps float64, e
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	defer func() { _ = col.Close() }()
+	defer func() { _ = col.Close() }() //asv:ignore-err benchmark teardown; measurement errors are returned separately
 
 	cfg := core.DefaultConfig()
 	cfg.MaxViews = n
@@ -83,7 +83,7 @@ func runManyViewsCell(s Scale, n int) (create, pub time.Duration, qps float64, e
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	defer func() { _ = eng.Close() }()
+	defer func() { _ = eng.Close() }() //asv:ignore-err benchmark teardown; measurement errors are returned separately
 
 	width := uint64(fig4Domain) / uint64(n)
 	ranges := make([]core.ViewRange, n)
@@ -110,7 +110,7 @@ func runManyViewsCell(s Scale, n int) (create, pub time.Duration, qps float64, e
 	t1 := time.Now()
 	for _, r := range ranges {
 		if _, err := snap.Query(r.Lo+width/4, r.Hi-width/4); err != nil {
-			_ = snap.Close()
+			_ = snap.Close() //asv:ignore-err Snapshot.Close never returns an error
 			return 0, 0, 0, err
 		}
 	}

@@ -178,7 +178,7 @@ func snapshotStorm(s Scale, eng *core.Engine, readers int, pinned bool) (float64
 				for b := 0; b < snapshotPinBatch; b++ {
 					select {
 					case <-stop:
-						_ = snap.Close()
+						_ = snap.Close() //asv:ignore-err Snapshot.Close never returns an error
 						return
 					default:
 					}
@@ -186,7 +186,7 @@ func snapshotStorm(s Scale, eng *core.Engine, readers int, pinned bool) (float64
 					i++
 					if _, err := snap.Query(q.Lo, q.Hi); err != nil {
 						fail(err)
-						_ = snap.Close()
+						_ = snap.Close() //asv:ignore-err Snapshot.Close never returns an error; the query error was already recorded
 						return
 					}
 					done++

@@ -83,12 +83,12 @@ func tieredReference(sc Scale, queries []workload.Query) ([]core.QueryResult, er
 	if err != nil {
 		return nil, err
 	}
-	defer func() { _ = col.Close() }()
+	defer func() { _ = col.Close() }() //asv:ignore-err benchmark teardown; measurement errors are returned separately
 	eng, err := core.NewEngine(col, tieredPanelConfig())
 	if err != nil {
 		return nil, err
 	}
-	defer func() { _ = eng.Close() }()
+	defer func() { _ = eng.Close() }() //asv:ignore-err benchmark teardown; measurement errors are returned separately
 	out := make([]core.QueryResult, len(queries))
 	for i, q := range queries {
 		r, err := eng.Query(q.Lo, q.Hi)
@@ -108,7 +108,7 @@ func runTieredCell(sc Scale, frac float64, queries []workload.Query, expected []
 	if err != nil {
 		return 0, vmsim.TierStats{}, err
 	}
-	defer func() { _ = col.Close() }()
+	defer func() { _ = col.Close() }() //asv:ignore-err benchmark teardown; measurement errors are returned separately
 
 	hot := int(float64(sc.Pages) * frac)
 	if hot < 1 {
@@ -120,7 +120,7 @@ func runTieredCell(sc Scale, frac float64, queries []workload.Query, expected []
 	if err != nil {
 		return 0, vmsim.TierStats{}, err
 	}
-	defer func() { _ = eng.Close() }()
+	defer func() { _ = eng.Close() }() //asv:ignore-err benchmark teardown; measurement errors are returned separately
 
 	tier := eng.Tier()
 	for p := 0; p < sc.Pages; p++ {

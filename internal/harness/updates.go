@@ -132,12 +132,12 @@ func mixedEngine(s Scale, mutate func(*core.Config)) (*core.Engine, func(), erro
 	}
 	eng, err := core.NewEngine(col, cfg)
 	if err != nil {
-		_ = col.Close()
+		_ = col.Close() //asv:ignore-err unwinding failed engine construction; the construction error is returned
 		return nil, nil, err
 	}
 	cleanup := func() {
-		_ = eng.Close()
-		_ = col.Close()
+		_ = eng.Close() //asv:ignore-err best-effort teardown shared by every exit path
+		_ = col.Close() //asv:ignore-err best-effort teardown shared by every exit path
 	}
 	for _, r := range workload.RandomSubranges(s.Seed+5, updatesViewCount, fig4Domain, updatesViewFrac) {
 		v, err := eng.CreateView(r.Lo, r.Hi)

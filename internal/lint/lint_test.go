@@ -21,6 +21,27 @@ func TestSelfTest(t *testing.T) {
 	}
 }
 
+// TestAsvlintCleanOnRepo runs the suite over the repository itself: the
+// codebase must stay free of findings, with every intentional deviation
+// carrying its annotation. This is the check CI runs via cmd/asvlint;
+// having it as a test too keeps `go test ./...` the single local gate.
+func TestAsvlintCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := ModuleDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
 func TestParseDirective(t *testing.T) {
 	cases := []struct {
 		text    string

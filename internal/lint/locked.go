@@ -53,6 +53,11 @@ type lockEvent struct {
 	pos   token.Pos
 	mode  string
 	delta int
+	// end caps the event's lexical effect: an event inside an if-branch
+	// that terminates the function (early-return unlock, lock-fail-return)
+	// is invisible to positions past the branch — that path never falls
+	// through to them. NoPos means the effect runs to the function end.
+	end token.Pos
 }
 
 func isRoomMode(mode string) bool {
@@ -88,25 +93,50 @@ func (m *Module) checkLockedFunc(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
 
 	// Collect acquire/release events in source order. Deferred calls are
 	// skipped: a deferred release runs at return, so the acquired mode
-	// simply extends to the end of the function.
+	// simply extends to the end of the function. Events inside an
+	// if-branch that ends in return or panic are capped at the branch
+	// end — the early-exit idiom (`if done { mu.Unlock(); return }`)
+	// must not leak its unlock onto the fall-through path.
 	var events []lockEvent
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch nn := n.(type) {
-		case *ast.DeferStmt:
-			return false
-		case *ast.CallExpr:
-			if f := calleeFunc(pkg.Info, nn); f != nil {
-				facts := m.factsOf(f)
-				if facts.acquires != "" {
-					events = append(events, lockEvent{nn.Pos(), facts.acquires, +1})
+	var collect func(n ast.Node, end token.Pos)
+	collect = func(n ast.Node, end token.Pos) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch nn := x.(type) {
+			case *ast.DeferStmt:
+				return false
+			case *ast.IfStmt:
+				if nn.Init != nil {
+					collect(nn.Init, end)
 				}
-				if facts.releases != "" {
-					events = append(events, lockEvent{nn.Pos(), facts.releases, -1})
+				collect(nn.Cond, end)
+				bodyEnd := end
+				if terminates(nn.Body) {
+					bodyEnd = nn.Body.End()
+				}
+				collect(nn.Body, bodyEnd)
+				if nn.Else != nil {
+					elseEnd := end
+					if b, ok := nn.Else.(*ast.BlockStmt); ok && terminates(b) {
+						elseEnd = b.End()
+					}
+					collect(nn.Else, elseEnd)
+				}
+				return false
+			case *ast.CallExpr:
+				if f := calleeFunc(pkg.Info, nn); f != nil {
+					facts := m.factsOf(f)
+					if facts.acquires != "" {
+						events = append(events, lockEvent{nn.Pos(), facts.acquires, +1, end})
+					}
+					if facts.releases != "" {
+						events = append(events, lockEvent{nn.Pos(), facts.releases, -1, end})
+					}
 				}
 			}
-		}
-		return true
-	})
+			return true
+		})
+	}
+	collect(fd.Body, token.NoPos)
 	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
 
 	heldAt := func(p token.Pos) map[string]bool {
@@ -118,6 +148,9 @@ func (m *Module) checkLockedFunc(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
 		for _, e := range events {
 			if e.pos >= p {
 				break
+			}
+			if e.end != token.NoPos && p >= e.end {
+				continue
 			}
 			counts[e.mode] += e.delta
 		}
@@ -185,6 +218,27 @@ func (m *Module) checkLockedFunc(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
 		return true
 	})
 	return diags
+}
+
+// terminates reports whether a block's last statement exits the
+// function: a return, or a call to panic. Branch statements (break,
+// continue, goto) are deliberately not counted — a continue re-enters
+// the loop, where a lexically later position is reachable again.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // isBlockingCall reports calls that can stall indefinitely and must not

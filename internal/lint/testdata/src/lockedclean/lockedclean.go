@@ -42,3 +42,16 @@ func outside(r *room, ch chan int) {
 	<-ch
 	time.Sleep(time.Millisecond)
 }
+
+// earlyReturn is the early-exit idiom: the unlock inside the
+// terminating branch must not leak onto the fall-through path, where
+// the room is still held.
+func earlyReturn(r *room, done bool) {
+	r.Lock()
+	if done {
+		r.Unlock()
+		return
+	}
+	r.publishLocked()
+	r.Unlock()
+}

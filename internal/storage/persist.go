@@ -46,7 +46,7 @@ func (c *Column) WriteTo(w io.Writer) (int64, error) {
 		if _, err := bw.Write(pg); err != nil {
 			return written, err
 		}
-		_, _ = crc.Write(pg) // hash.Hash.Write never fails
+		_, _ = crc.Write(pg) //asv:ignore-err hash.Hash.Write never fails
 		written += PageSize
 	}
 
@@ -90,21 +90,21 @@ func ReadColumn(k *vmsim.Kernel, as *vmsim.AddressSpace, name string, r io.Reade
 	for p := 0; p < int(numPages); p++ {
 		pg, err := c.PageBytes(p)
 		if err != nil {
-			_ = c.Close()
+			_ = c.Close() //asv:ignore-err unwinding a failed load; the read error is returned
 			return nil, err
 		}
 		if _, err := io.ReadFull(br, pg); err != nil {
-			_ = c.Close()
+			_ = c.Close() //asv:ignore-err unwinding a failed load; the read error is returned
 			return nil, fmt.Errorf("storage: reading page %d: %w", p, err)
 		}
-		_, _ = crc.Write(pg)
+		_, _ = crc.Write(pg) //asv:ignore-err hash.Hash.Write never fails
 	}
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		_ = c.Close()
+		_ = c.Close() //asv:ignore-err unwinding a failed load; the read error is returned
 		return nil, fmt.Errorf("storage: reading checksum: %w", err)
 	}
 	if want := binary.LittleEndian.Uint64(hdr[:]); want != uint64(crc.Sum32()) {
-		_ = c.Close()
+		_ = c.Close() //asv:ignore-err unwinding a failed load; the checksum error is returned
 		return nil, fmt.Errorf("storage: checksum mismatch (file %#x, computed %#x)", want, crc.Sum32())
 	}
 	return c, nil

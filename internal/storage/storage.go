@@ -232,7 +232,7 @@ func NewColumn(k *vmsim.Kernel, as *vmsim.AddressSpace, name string, numPages in
 	}
 	addr, err := as.MmapFile(f, 0, numPages)
 	if err != nil {
-		_ = k.RemoveFile(name)
+		_ = k.RemoveFile(name) //asv:ignore-err unwinding a failed mmap; the mmap error is returned
 		return nil, err
 	}
 	c := &Column{

@@ -45,18 +45,18 @@ func New(k *vmsim.Kernel, as *vmsim.AddressSpace, name string, numPages int,
 	}
 	for _, cn := range colNames {
 		if _, dup := t.engines[cn]; dup {
-			_ = t.Close()
+			_ = t.Close() //asv:ignore-err unwinding partial table construction; the duplicate-column error is returned
 			return nil, fmt.Errorf("table: duplicate column %q", cn)
 		}
 		col, err := storage.NewColumn(k, as, name+"."+cn, numPages)
 		if err != nil {
-			_ = t.Close()
+			_ = t.Close() //asv:ignore-err unwinding partial table construction; the construction error is returned
 			return nil, err
 		}
 		eng, err := core.NewEngine(col, cfg)
 		if err != nil {
-			_ = col.Close()
-			_ = t.Close()
+			_ = col.Close() //asv:ignore-err unwinding partial table construction; the construction error is returned
+			_ = t.Close()   //asv:ignore-err unwinding partial table construction; the construction error is returned
 			return nil, err
 		}
 		t.engines[cn] = eng
@@ -133,7 +133,7 @@ func (t *Table) Select(preds []Predicate) (*SelectResult, error) {
 	snaps := make(map[string]*core.Snapshot)
 	defer func() {
 		for _, s := range snaps {
-			_ = s.Close()
+			_ = s.Close() //asv:ignore-err Snapshot.Close never returns an error
 		}
 	}()
 	for _, cn := range t.colNames {

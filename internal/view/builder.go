@@ -152,7 +152,7 @@ func (b *Builder) Finish(lo, hi uint64) (*View, error) {
 	b.wg.Wait()
 	b.finished = true
 	if err := b.ferr.get(); err != nil {
-		_ = b.v.Release()
+		_ = b.v.Release() //asv:ignore-err unwinding a failed build; the builder error is returned
 		return nil, err
 	}
 	b.v.numPages = b.nextSlot
@@ -166,7 +166,7 @@ func (b *Builder) Finish(lo, hi uint64) (*View, error) {
 	// Warm the soft-TLB before the view becomes visible: concurrent
 	// readers then never write view state (see View.tlb).
 	if err := b.v.warmTLB(); err != nil {
-		_ = b.v.Release()
+		_ = b.v.Release() //asv:ignore-err unwinding a failed build; the warm error is returned
 		return nil, err
 	}
 	return b.v, nil

@@ -22,7 +22,7 @@ func Create(col *storage.Column, lo, hi uint64, opts CreateOptions, mapper *Mapp
 	for p := 0; p < col.NumPages(); p++ {
 		pg, err := col.PageBytes(p)
 		if err != nil {
-			_ = b.Abort()
+			_ = b.Abort() //asv:ignore-err aborting the builder after a page read error; that error is returned
 			return nil, err
 		}
 		s := storage.ScanFilter(pg, lo, hi)

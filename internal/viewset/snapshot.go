@@ -40,7 +40,10 @@ const snapChunkSize = 128
 // and the identity of the live view it was taken from. A SnapView may be
 // shared by any number of chunks across consecutive snapshots; refs
 // counts them, and the drain releases the single view retain the capture
-// owns.
+// owns. Entries are immutable once captured: every field except refs is
+// written only by the capture path in this file.
+//
+//asv:immutable
 type SnapView struct {
 	view   *view.View
 	lo, hi uint64
@@ -97,7 +100,11 @@ func (sv *SnapView) PageBytes(i int) []byte {
 
 // snapChunk is one fixed-arity block of the capture table, shared
 // copy-on-write between consecutive snapshots. refs counts the
-// snapshots (plus the set's delta cache) referencing the chunk.
+// snapshots (plus the set's delta cache) referencing the chunk. A
+// chunk's entries are sealed by the capture path in this file before
+// the chunk becomes visible to a second snapshot.
+//
+//asv:immutable
 type snapChunk struct {
 	entries []*SnapView
 	refs    atomic.Int32
@@ -198,7 +205,7 @@ outer:
 		// Symmetric unwind: every chunk appended so far — reused or
 		// half-built — holds exactly the references taken above.
 		for _, ch := range chunks {
-			_ = ch.release(s)
+			_ = ch.release(s) //asv:ignore-err unwinding a half-built capture; the capture error is returned and a retry starts clean
 		}
 		return nil, err
 	}
@@ -248,7 +255,7 @@ func (s *Set) captureView(v *view.View, fullPages [][]byte) (*SnapView, error) {
 		}
 		sv.pages = pages
 	}
-	v.Retain()
+	v.Retain() //asv:handoff the retain is owned by the SnapView; the chunk drain releases it
 	return sv, nil
 }
 
@@ -278,7 +285,9 @@ func (s *Set) MarkDirty(v *view.View) {
 // refreshCaptureCache installs chunks as the delta cache for the next
 // capture: the set takes one reference per new chunk, drops the previous
 // cache's references, rebuilds the per-view index and clears the dirty
-// marks (everything present is freshly consistent).
+// marks (everything present is freshly consistent). A release error
+// while dropping the previous cache cannot fail the capture that is
+// already built, so it is parked for TakeReleaseErr instead of dropped.
 func (s *Set) refreshCaptureCache(chunks []*snapChunk) {
 	for _, ch := range chunks {
 		ch.retain()
@@ -297,8 +306,20 @@ func (s *Set) refreshCaptureCache(chunks []*snapChunk) {
 	s.capDirty = make(map[*view.View]struct{})
 	s.dirtyMu.Unlock()
 	for _, ch := range old {
-		_ = ch.release(s)
+		if err := ch.release(s); err != nil && s.releaseErr == nil {
+			s.releaseErr = err
+		}
 	}
+}
+
+// TakeReleaseErr returns and clears the first release error parked by a
+// cache refresh. The engine drains it after every capture and folds it
+// into the retire-error accounting — the drop that failed was retiring
+// a superseded capture's view, the same class the reclaim walk counts.
+func (s *Set) TakeReleaseErr() error {
+	err := s.releaseErr
+	s.releaseErr = nil
+	return err
 }
 
 // ResetCaptureCache drops the delta cache: the set's chunk references

@@ -140,6 +140,11 @@ type Set struct {
 	capChunks []*snapChunk
 	capBy     map[*view.View]*SnapView
 
+	// releaseErr parks the first error hit while dropping a superseded
+	// cache's references (written under the exclusive room, drained by
+	// TakeReleaseErr after each capture).
+	releaseErr error
+
 	dirtyMu  sync.Mutex
 	capDirty map[*view.View]struct{}
 

@@ -288,6 +288,8 @@ func (as *AddressSpace) mmapChooseAddr(f *File, off, n int, perm Perm) (Addr, er
 // hint pointer upward and falls back to a full first-fit search from
 // mmapBase when the hint runs past the top — enough realism for the
 // simulator, where address-space exhaustion is not under study.
+//
+//asv:locked=mu
 func (as *AddressSpace) findGapLocked(n VPN) (VPN, error) {
 	if as.nextMapHint+n <= addrSpaceTop && as.freeRangeLocked(as.nextMapHint, as.nextMapHint+n) {
 		s := as.nextMapHint
@@ -322,6 +324,8 @@ func (as *AddressSpace) findGapLocked(n VPN) (VPN, error) {
 }
 
 // freeRangeLocked reports whether [start, end) overlaps no VMA.
+//
+//asv:locked=mu
 func (as *AddressSpace) freeRangeLocked(start, end VPN) bool {
 	if v := as.vmas.floor(start); v != nil && v.end > start {
 		return false
@@ -335,6 +339,8 @@ func (as *AddressSpace) freeRangeLocked(start, end VPN) bool {
 // unmapRangeLocked removes all mappings inside [start, end), splitting or
 // shrinking VMAs that straddle the boundary and clearing page-table
 // entries. Anonymous frames that were demand-allocated are freed.
+//
+//asv:locked=mu
 func (as *AddressSpace) unmapRangeLocked(start, end VPN) {
 	if end <= start {
 		return
@@ -389,6 +395,8 @@ func (as *AddressSpace) unmapRangeLocked(start, end VPN) {
 
 // clearPagesLocked drops page-table entries in [lo, hi) of VMA v, freeing
 // demand-allocated anonymous frames and releasing file page references.
+//
+//asv:locked=mu
 func (as *AddressSpace) clearPagesLocked(v *VMA, lo, hi VPN) {
 	cleared := 0
 	for p := lo; p < hi; p++ {
@@ -412,6 +420,8 @@ func (as *AddressSpace) clearPagesLocked(v *VMA, lo, hi VPN) {
 // anonymous). This is why mapping consecutive qualifying pages — the §2.3
 // optimization — also keeps the maps file short: the merged area renders
 // as a single line.
+//
+//asv:locked=mu
 func (as *AddressSpace) insertMergedLocked(v *VMA) {
 	// Merge with predecessor.
 	if p := as.vmas.floor(v.start); p != nil && p.end == v.start && mergeable(p, v) {
@@ -508,7 +518,7 @@ func (as *AddressSpace) PageData(vpn VPN) ([]byte, error) {
 		// means the file shrank under the mapping (SIGBUS territory).
 		return nil, fmt.Errorf("%w: file page gone under vpn %#x", ErrFault, vpn)
 	}
-	fr, err := as.kernel.allocFrame()
+	fr, err := as.kernel.allocFrame() //asv:handoff the frame is installed in the page table; unmap frees it
 	if err != nil {
 		return nil, err
 	}

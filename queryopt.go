@@ -76,7 +76,7 @@ type Snapshot struct {
 // and page frames alive, and Column.Close blocks until every snapshot is
 // closed.
 func (c *Column) Snapshot() (*Snapshot, error) {
-	s, err := c.eng.Snapshot()
+	s, err := c.eng.Snapshot() //asv:handoff the pin is owned by the returned handle; Snapshot.Close releases it
 	if err != nil {
 		return nil, err
 	}
