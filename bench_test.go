@@ -21,6 +21,7 @@ import (
 	"github.com/asv-db/asv/internal/core"
 	"github.com/asv-db/asv/internal/dist"
 	"github.com/asv-db/asv/internal/explicit"
+	"github.com/asv-db/asv/internal/obs"
 	"github.com/asv-db/asv/internal/storage"
 	"github.com/asv-db/asv/internal/view"
 	"github.com/asv-db/asv/internal/vmsim"
@@ -570,6 +571,53 @@ func BenchmarkAutopilotEnqueue(b *testing.B) {
 			}
 			b.ReportMetric(float64(writers), "updates/op")
 		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry: the zero-cost-when-off contract of the obs layer.
+
+// benchQueryOptEngine builds the fixed-work query engine the tracing
+// benchmarks share: a baseline (non-adaptive) engine, so every iteration
+// scans the same full capture and the only variable is the telemetry
+// option under test.
+func benchQueryOptEngine(b *testing.B) *core.Engine {
+	col := benchColumn(b, benchPages/4, dist.NewSine(42, 0, benchDomain, 100))
+	eng, err := core.NewEngine(col, core.BaselineConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = eng.Close() })
+	return eng
+}
+
+// BenchmarkQueryOptTracingOff measures the untraced query path with
+// telemetry compiled in — the acceptance bar: allocations and throughput
+// identical to the pre-telemetry engine (every obs site on this path is
+// a nil test or an always-on atomic add).
+func BenchmarkQueryOptTracingOff(b *testing.B) {
+	eng := benchQueryOptEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.QueryOpt(0, benchDomain/2, core.QueryOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryOptTracingOn is the same query with a span tree
+// recorded: the per-query tracing overhead (a handful of small
+// allocations for the spans) paid only by callers who asked for it.
+func BenchmarkQueryOptTracingOn(b *testing.B) {
+	eng := benchQueryOptEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := obs.NewTrace("query")
+		if _, err := eng.QueryOpt(0, benchDomain/2, core.QueryOptions{Trace: tr}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

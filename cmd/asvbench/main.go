@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"github.com/asv-db/asv/internal/harness"
+	"github.com/asv-db/asv/internal/obs"
 )
 
 // experiment binds an ID to its harness runner.
@@ -268,9 +269,10 @@ func emit(t *harness.Table, format, outDir string) error {
 func writeJSON(w io.Writer, t *harness.Table) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(struct {
-		ID     string     `json:"id"`
-		Title  string     `json:"title"`
-		Header []string   `json:"header"`
-		Rows   [][]string `json:"rows"`
-	}{t.ID, t.Title, t.Header, t.Rows})
+		ID        string        `json:"id"`
+		Title     string        `json:"title"`
+		Header    []string      `json:"header"`
+		Rows      [][]string    `json:"rows"`
+		Telemetry *obs.Snapshot `json:"telemetry,omitempty"`
+	}{t.ID, t.Title, t.Header, t.Rows, t.Telemetry})
 }

@@ -15,9 +15,12 @@
 // the old value is a regression and exits 1. Gated latency columns —
 // headers ending in _p99_ms, lower-is-better — apply the same rule with
 // the sign flipped: a rise beyond the threshold fails. Other _ms, _pct
-// and _avg columns are informational. Panels or rows present only on one
-// side are reported and skipped, so adding a panel or sweeping new cells
-// never fails the gate.
+// and _avg columns are informational, as are bare _p99 columns and the
+// p99s of any histograms in a panel's embedded telemetry block — those
+// are printed for trend-watching but never fail the gate (log₂ bucket
+// quantization makes them too coarse to gate on). Panels or rows present
+// only on one side are reported and skipped, so adding a panel or
+// sweeping new cells never fails the gate.
 package main
 
 import (
@@ -26,16 +29,20 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+
+	"github.com/asv-db/asv/internal/obs"
 )
 
 // panel is the asvbench -json object shape.
 type panel struct {
-	ID     string     `json:"id"`
-	Title  string     `json:"title"`
-	Header []string   `json:"header"`
-	Rows   [][]string `json:"rows"`
+	ID        string        `json:"id"`
+	Title     string        `json:"title"`
+	Header    []string      `json:"header"`
+	Rows      [][]string    `json:"rows"`
+	Telemetry *obs.Snapshot `json:"telemetry"`
 }
 
 // rateSuffixes mark higher-is-better throughput columns.
@@ -75,7 +82,7 @@ func isLatencyColumn(name string) bool {
 // percentages, plain durations, nanosecond totals (the tiered panel's
 // simulated stall), averages, and the snapshot panel's
 // epoch-vs-room-lock speedup ratio — are informational.
-var measurementSuffixes = []string{"_pct", "_ms", "_ns", "_avg", "_speedup"}
+var measurementSuffixes = []string{"_pct", "_ms", "_ns", "_avg", "_speedup", "_p99"}
 
 func isMeasurementColumn(name string) bool {
 	if isRateColumn(name) {
@@ -156,7 +163,10 @@ func comparePanels(old, new []panel, maxRegress float64) (findings []finding, re
 			}
 			for i, h := range np.Header {
 				rate, latency := isRateColumn(h), isLatencyColumn(h)
-				if (!rate && !latency) || i >= len(nr) {
+				// Bare _p99 columns (histogram-derived, bucket-quantized)
+				// are diffed but never gated.
+				info := !rate && !latency && strings.HasSuffix(h, "_p99")
+				if (!rate && !latency && !info) || i >= len(nr) {
 					continue
 				}
 				oi, ok := oldCol[h]
@@ -170,6 +180,10 @@ func comparePanels(old, new []panel, maxRegress float64) (findings []finding, re
 				}
 				deltaPct := (newV/oldV - 1) * 100
 				line := fmt.Sprintf("%s [%s] %s: %.2f -> %.2f (%+.1f%%)", np.ID, key, h, oldV, newV, deltaPct)
+				if info {
+					findings = append(findings, finding{line: line + "  informational"})
+					continue
+				}
 				// Throughput regresses downward, latency upward.
 				bad := deltaPct < -maxRegress
 				if latency {
@@ -182,8 +196,40 @@ func comparePanels(old, new []panel, maxRegress float64) (findings []finding, re
 				findings = append(findings, finding{line: line, regression: bad})
 			}
 		}
+		findings = append(findings, telemetryFindings(op, np)...)
 	}
 	return findings, regressed
+}
+
+// telemetryFindings diffs the p99 of every histogram present in both
+// panels' embedded telemetry blocks. Always informational: log₂ bucket
+// bounds move in factor-of-two steps, so a one-bucket shift reads as
+// ±100% — a trend signal, not a gate.
+func telemetryFindings(op, np panel) []finding {
+	if op.Telemetry == nil || np.Telemetry == nil {
+		return nil
+	}
+	names := make([]string, 0, len(np.Telemetry.Histograms))
+	for name := range np.Telemetry.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []finding
+	for _, name := range names {
+		nh := np.Telemetry.Histograms[name]
+		oh, ok := op.Telemetry.Histograms[name]
+		if !ok || oh.Count == 0 || nh.Count == 0 {
+			continue
+		}
+		oldP, newP := oh.Quantile(0.99), nh.Quantile(0.99)
+		if oldP == 0 {
+			continue
+		}
+		deltaPct := (float64(newP)/float64(oldP) - 1) * 100
+		out = append(out, finding{line: fmt.Sprintf("%s telemetry %s_p99: %d -> %d (%+.1f%%)  informational",
+			np.ID, name, oldP, newP, deltaPct)})
+	}
+	return out
 }
 
 func run(oldPath, newPath string, maxRegress float64, w io.Writer) (bool, error) {

@@ -8,6 +8,10 @@
 //	asvinspect [-pages 2048] [-queries 40] [-dist sine] [-mode single|multi] [-scanworkers -1]
 //	asvinspect -autopilot            # fire-and-forget updates + lifecycle telemetry
 //	asvinspect -snapshot             # pin an epoch, mutate the column, show repeatable reads
+//	asvinspect -trace                # run one traced probe query and print its span tree
+//	asvinspect -events               # enable the event journal and dump it at the end
+//	asvinspect -metrics              # print the unified telemetry snapshot
+//	asvinspect -metrics-out f.json   # write the telemetry snapshot as JSON (for CI artifacts)
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"github.com/asv-db/asv/internal/autopilot"
 	"github.com/asv-db/asv/internal/core"
 	"github.com/asv-db/asv/internal/dist"
+	"github.com/asv-db/asv/internal/obs"
 	"github.com/asv-db/asv/internal/storage"
 	"github.com/asv-db/asv/internal/vmsim"
 	"github.com/asv-db/asv/internal/workload"
@@ -39,16 +44,30 @@ func main() {
 		autoPlt  = flag.Bool("autopilot", false, "enable the background maintenance subsystem: interleave fire-and-forget updates with the queries and dump coalescing/lifecycle telemetry")
 		snapDemo = flag.Bool("snapshot", false, "after the query sequence, pin an epoch snapshot, overwrite rows and flush, and show the pinned reads staying repeatable while live reads move")
 		tierDemo = flag.Bool("tiers", false, "attach a simulated capacity tier (hot budget = half the pages), demote the whole column after the queries, re-run a probe and dump per-tier occupancy")
+		traceQ   = flag.Bool("trace", false, "after the query sequence, run one traced probe query and print its span tree")
+		events   = flag.Bool("events", false, "enable the engine event journal (256 events) and dump it at the end")
+		metrics  = flag.Bool("metrics", false, "print the unified telemetry snapshot (counters, gauges, histograms)")
+		metOut   = flag.String("metrics-out", "", "write the telemetry snapshot as stable JSON to this file")
 	)
 	flag.Parse()
 
-	if err := run(*pages, *queries, *distName, *mode, *seed, *showMaps, *parallel, *scanWork, *autoPlt, *snapDemo, *tierDemo); err != nil {
+	o := obsFlags{trace: *traceQ, events: *events, metrics: *metrics, metricsOut: *metOut}
+	if err := run(*pages, *queries, *distName, *mode, *seed, *showMaps, *parallel, *scanWork, *autoPlt, *snapDemo, *tierDemo, o); err != nil {
 		fmt.Fprintln(os.Stderr, "asvinspect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(pages, queries int, distName, mode string, seed uint64, showMaps, parallel bool, scanWorkers int, autoPilot, snapDemo, tierDemo bool) error {
+// obsFlags bundles the observability switches so run's signature stays
+// readable.
+type obsFlags struct {
+	trace      bool
+	events     bool
+	metrics    bool
+	metricsOut string
+}
+
+func run(pages, queries int, distName, mode string, seed uint64, showMaps, parallel bool, scanWorkers int, autoPilot, snapDemo, tierDemo bool, o obsFlags) error {
 	const domain = 100_000_000
 
 	kern := vmsim.NewKernel(0)
@@ -85,6 +104,9 @@ func run(pages, queries int, distName, mode string, seed uint64, showMaps, paral
 	}
 	if tierDemo {
 		cfg.Tiering = &vmsim.TierConfig{HotFrames: (pages + 1) / 2}
+	}
+	if o.events {
+		cfg.JournalEvents = 256
 	}
 	eng, err := core.NewEngine(col, cfg)
 	if err != nil {
@@ -177,6 +199,40 @@ func run(pages, queries int, distName, mode string, seed uint64, showMaps, paral
 		for i, tp := range eng.ViewSet().Temperatures() {
 			fmt.Printf("    view %2d: last used tick %d, %d hits\n", i, tp.LastUsed, tp.Uses)
 		}
+	}
+
+	if o.trace {
+		probe := qs[len(qs)/2]
+		ans, err := eng.QueryOpt(probe.Lo, probe.Hi, core.QueryOptions{Trace: obs.NewTrace("query")})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n=== trace: probe [%d, %d] -> %d rows ===\n", probe.Lo, probe.Hi, ans.Count)
+		fmt.Print(ans.Trace)
+	}
+
+	if o.events {
+		evs := eng.Journal().Events()
+		fmt.Printf("\n=== event journal (%d events, cap %d) ===\n", len(evs), eng.Journal().Cap())
+		for _, ev := range evs {
+			fmt.Printf("  %s\n", ev)
+		}
+	}
+
+	if o.metrics {
+		fmt.Printf("\n=== telemetry ===\n")
+		fmt.Print(eng.Telemetry().String())
+	}
+
+	if o.metricsOut != "" {
+		data, err := eng.Telemetry().JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.metricsOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\ntelemetry snapshot written to %s\n", o.metricsOut)
 	}
 
 	st := as.Stats()

@@ -63,9 +63,14 @@ func (c *Column) AutopilotMetrics() (AutopilotMetrics, bool) {
 	return p.Metrics(), true
 }
 
-// AutopilotFlushLatencies returns the retained flush-latency samples
-// (enqueue of the oldest coalesced write → flush complete), nil without
-// an autopilot. Summarize with AutopilotPercentile.
+// AutopilotFlushLatencies returns flush-latency samples (enqueue of the
+// oldest coalesced write → flush complete), nil without an autopilot.
+// Summarize with AutopilotPercentile.
+//
+// Deprecated: the autopilot no longer retains raw samples; the returned
+// values are synthesized from the flush-latency histogram's quantiles
+// and are quantized to log₂ bucket bounds. Read the histogram directly
+// from Column.Telemetry's "autopilot_flush_latency_ns" instead.
 func (c *Column) AutopilotFlushLatencies() []time.Duration {
 	p := c.eng.Autopilot()
 	if p == nil {
@@ -76,6 +81,10 @@ func (c *Column) AutopilotFlushLatencies() []time.Duration {
 
 // AutopilotPercentile returns the q-quantile (0..1) of a latency sample
 // set by nearest rank.
+//
+// Deprecated: pair of AutopilotFlushLatencies. Prefer
+// HistogramSnapshot.Quantile on the "autopilot_flush_latency_ns"
+// histogram from Column.Telemetry.
 func AutopilotPercentile(ds []time.Duration, q float64) time.Duration {
 	return autopilot.Percentile(ds, q)
 }

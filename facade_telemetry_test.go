@@ -1,0 +1,64 @@
+package asv
+
+import "testing"
+
+// TestFacadeTelemetry wires the observability surface through the
+// facade: a traced QueryOpt returns a finished span tree, Telemetry
+// reflects the queries, and an armed journal yields events.
+func TestFacadeTelemetry(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	cfg := DefaultConfig()
+	cfg.JournalEvents = 128
+	col, err := db.CreateColumn("tel", 64, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Fill(Sine(3, 0, 1_000_000, 8)); err != nil {
+		t.Fatal(err)
+	}
+
+	ans, err := col.QueryOpt(100_000, 600_000, Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Trace == nil || ans.Trace.Root == nil {
+		t.Fatal("Trace() option returned no span tree")
+	}
+	if ans.Trace.Root.End == 0 {
+		t.Fatal("trace root unfinished")
+	}
+	if len(ans.Trace.Root.Children) == 0 {
+		t.Fatalf("trace root has no children:\n%s", ans.Trace)
+	}
+
+	// Untraced queries stay trace-free.
+	plain, err := col.QueryOpt(100_000, 600_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Fatal("untraced query carried a trace")
+	}
+
+	tel := col.Telemetry()
+	if tel.Counters["engine_queries"] < 2 {
+		t.Fatalf("engine_queries = %d, want >= 2", tel.Counters["engine_queries"])
+	}
+	if _, err := tel.JSON(); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := col.Events()
+	if len(evs) == 0 {
+		t.Fatal("armed journal drained no events after adaptive queries")
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("event seqs not monotone: #%d after #%d", evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+}

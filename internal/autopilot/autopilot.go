@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/asv-db/asv/internal/obs"
 	"github.com/asv-db/asv/internal/storage"
 )
 
@@ -71,8 +72,9 @@ const (
 	// cap: a writer that outruns the pilot by this factor drains
 	// cooperatively instead of growing the intake without bound.
 	backpressureFactor = 8
-	// latencyRing is the number of flush-latency samples retained for the
-	// p50/p99 panel columns.
+	// latencyRing caps how many quantile-derived samples FlushLatencies
+	// synthesizes from the latency histogram — the retention the
+	// deprecated sample API used to have.
 	latencyRing = 4096
 )
 
@@ -432,9 +434,11 @@ type Pilot struct {
 	mWarmed              atomic.Uint64
 	mPagesDemoted        atomic.Uint64
 
-	latMu  sync.Mutex
-	lats   []time.Duration
-	latPos int
+	// latHist/batchHist replace the old bounded sample ring: lock-free
+	// log₂ histograms of flush latency (ns) and coalesce batch size.
+	// Handles stored once here, bumped from drain.
+	latHist   *obs.Histogram
+	batchHist *obs.Histogram
 }
 
 // Start validates the configuration, resolves defaults and launches the
@@ -445,16 +449,17 @@ func Start(target Target, cfg Config, rows int) (*Pilot, error) {
 	}
 	cfg = cfg.withDefaults()
 	p := &Pilot{
-		cfg:    cfg,
-		clock:  cfg.Clock,
-		target: target,
-		rows:   rows,
-		model:  NewCostModel(cfg.WorkerOverhead),
-		shards: make([]intakeShard, cfg.Shards),
-		wake:   make(chan struct{}, 1),
-		stopCh: make(chan struct{}),
-		done:   make(chan struct{}),
-		lats:   make([]time.Duration, 0, latencyRing),
+		cfg:       cfg,
+		clock:     cfg.Clock,
+		target:    target,
+		rows:      rows,
+		model:     NewCostModel(cfg.WorkerOverhead),
+		shards:    make([]intakeShard, cfg.Shards),
+		wake:      make(chan struct{}, 1),
+		stopCh:    make(chan struct{}),
+		done:      make(chan struct{}),
+		latHist:   new(obs.Histogram),
+		batchHist: new(obs.Histogram),
 	}
 	if cfg.MaintainInterval > 0 {
 		// Created here, not in the goroutine, so the ticker exists the
@@ -583,15 +588,55 @@ func (p *Pilot) Metrics() Metrics {
 	}
 }
 
-// FlushLatencies snapshots the retained flush-latency samples (enqueue of
-// the oldest queued write → flush complete), newest-last ring order not
-// guaranteed.
+// FlushLatencies synthesizes flush-latency samples (enqueue of the oldest
+// queued write → flush complete) from the pilot's latency histogram: at
+// most latencyRing samples, the k-th being the ((k+0.5)/n)-quantile, so
+// Percentile over the result tracks the histogram's quantiles.
+//
+// Deprecated: the pilot no longer retains individual samples — values
+// are quantized to the histogram's log₂ bucket bounds. Read the
+// histogram directly via LatencyHistogram (or Engine.Telemetry's
+// autopilot_flush_latency_ns) instead.
 func (p *Pilot) FlushLatencies() []time.Duration {
-	p.latMu.Lock()
-	defer p.latMu.Unlock()
-	out := make([]time.Duration, len(p.lats))
-	copy(out, p.lats)
+	h := p.latHist.Snapshot()
+	n := h.Count
+	if n == 0 {
+		return nil
+	}
+	if n > latencyRing {
+		n = latencyRing
+	}
+	out := make([]time.Duration, n)
+	for k := range out {
+		out[k] = time.Duration(h.Quantile((float64(k) + 0.5) / float64(n)))
+	}
 	return out
+}
+
+// LatencyHistogram snapshots the flush-latency histogram (ns).
+func (p *Pilot) LatencyHistogram() obs.HistogramSnapshot { return p.latHist.Snapshot() }
+
+// Telemetry snapshots the pilot's counters and histograms as autopilot_*
+// instruments for Engine.Telemetry.
+func (p *Pilot) Telemetry() obs.Snapshot {
+	s := obs.NewSnapshot()
+	m := p.Metrics()
+	s.AddCounter("autopilot_enqueued", m.Enqueued)
+	s.AddCounter("autopilot_applied", m.Applied)
+	s.AddCounter("autopilot_flushes", m.Flushes)
+	s.AddCounter("autopilot_count_flushes", m.CountFlushes)
+	s.AddCounter("autopilot_byte_flushes", m.ByteFlushes)
+	s.AddCounter("autopilot_deadline_flushes", m.DeadlineFlushes)
+	s.AddCounter("autopilot_backpressure_flushes", m.BackpressureFlushes)
+	s.AddCounter("autopilot_sync_flushes", m.SyncFlushes)
+	s.AddCounter("autopilot_maintenance_ticks", m.MaintenanceTicks)
+	s.AddCounter("autopilot_views_evicted", m.ViewsEvicted)
+	s.AddCounter("autopilot_views_rebuilt", m.ViewsRebuilt)
+	s.AddCounter("autopilot_tlb_pages_warmed", m.TLBPagesWarmed)
+	s.AddCounter("autopilot_pages_demoted", m.PagesDemoted)
+	s.SetHistogram("autopilot_flush_latency_ns", p.latHist.Snapshot())
+	s.SetHistogram("autopilot_coalesce_batch", p.batchHist.Snapshot())
+	return s
 }
 
 // loop is the pilot goroutine: it reacts to intake wake-ups, arms the
@@ -716,14 +761,8 @@ func (p *Pilot) drain(reason FlushReason, align bool) {
 	case FlushSync:
 		p.mSyncFlushes.Add(1)
 	}
-	p.latMu.Lock()
-	if len(p.lats) < latencyRing {
-		p.lats = append(p.lats, lat)
-	} else {
-		p.lats[p.latPos] = lat
-		p.latPos = (p.latPos + 1) % latencyRing
-	}
-	p.latMu.Unlock()
+	p.latHist.Observe(uint64(lat))
+	p.batchHist.Observe(uint64(len(batch)))
 	if err != nil {
 		p.errMu.Lock()
 		if p.firstErr == nil {

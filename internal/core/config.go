@@ -160,6 +160,19 @@ type Config struct {
 	// pre-warmed in exclusive-room slices). Engine.Close stops it. Nil
 	// keeps every maintenance action inline, the pre-autopilot behaviour.
 	Autopilot *autopilot.Config
+	// JournalEvents, when positive, enables the engine's event journal: a
+	// fixed-size lock-free ring (rounded up to a power of two, minimum 64)
+	// of typed engine events — epoch publications and retirements,
+	// autopilot duty brackets, tier demotion/promotion batches, view
+	// lifecycle transitions, room-mode handovers. Zero (the default)
+	// disables the journal entirely; every recording site is then one nil
+	// pointer test. Drain with Engine.Journal().Events().
+	JournalEvents int
+	// JournalClock, when non-nil, replaces the journal's wall clock
+	// (time.Now().UnixNano()) with an injectable nanosecond source —
+	// deterministic timestamps for tests and the harness. Ignored when
+	// JournalEvents leaves the journal disabled.
+	JournalClock func() int64
 	// Tiering, when non-nil and enabled, attaches a second, slower frame
 	// tier to the column (internal/vmsim tier map): pages demoted below
 	// the hot-tier budget are charged a simulated capacity-tier latency

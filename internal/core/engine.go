@@ -8,6 +8,7 @@ import (
 
 	"github.com/asv-db/asv/internal/autopilot"
 	"github.com/asv-db/asv/internal/bitvec"
+	"github.com/asv-db/asv/internal/obs"
 	"github.com/asv-db/asv/internal/storage"
 	"github.com/asv-db/asv/internal/view"
 	"github.com/asv-db/asv/internal/viewset"
@@ -111,6 +112,18 @@ type Engine struct {
 	// NewEngine, so nil-checks need no lock. See tier.go.
 	tier *vmsim.FileTier
 
+	// ins holds the engine's obs instrument handles (always non-nil,
+	// set once in NewEngine — recording is a few atomic adds). journal
+	// is the typed engine-event ring (Config.JournalEvents); nil keeps
+	// every event site a single pointer test, like tier. See
+	// telemetry.go.
+	ins     *engineInstruments
+	journal *obs.Journal
+	// lastPromotions remembers the tier promotion counter at the last
+	// journal observation, so promote-on-access activity journals as
+	// batches rather than per page.
+	lastPromotions atomic.Uint64
+
 	stats engineStats
 }
 
@@ -130,52 +143,58 @@ type Stats struct {
 	ViewsExpired    uint64 // cold views evicted by the autopilot lifecycle
 	ViewsRebuilt    uint64 // fragmented views rebuilt by the autopilot lifecycle
 	StatePublishes  uint64 // routed-read states published (epoch swaps)
-	PublishNanos    uint64 // cumulative wall time of state publication, ns
-	PublishErrors   uint64 // failed publication attempts (capture snapshot errors)
-	RetireErrors    uint64 // errors surfaced while retiring drained states
+	PublishNanos    uint64 // cumulative wall time of successful state publications, ns
+	// PublishAttemptNanos accumulates the wall time of every publication
+	// attempt, successful or not — failed captures burn real exclusive-room
+	// time that PublishNanos (successes only) would hide.
+	PublishAttemptNanos uint64
+	PublishErrors       uint64 // failed publication attempts (capture snapshot errors)
+	RetireErrors        uint64 // errors surfaced while retiring drained states
 }
 
 // engineStats is the lock-free internal counterpart of Stats: counters
 // are bumped from concurrent read-locked queries, so each is atomic.
 type engineStats struct {
-	queries         atomic.Uint64
-	fullViewQueries atomic.Uint64
-	pagesScanned    atomic.Uint64
-	viewsCreated    atomic.Uint64
-	viewsReplaced   atomic.Uint64
-	viewsDiscarded  atomic.Uint64
-	viewsEvicted    atomic.Uint64
-	updatesBuffered atomic.Uint64
-	updateBatches   atomic.Uint64
-	pagesAdded      atomic.Uint64
-	pagesRemoved    atomic.Uint64
-	viewsExpired    atomic.Uint64
-	viewsRebuilt    atomic.Uint64
-	publishes       atomic.Uint64
-	publishNanos    atomic.Uint64
-	publishErrors   atomic.Uint64
-	retireErrors    atomic.Uint64
+	queries             atomic.Uint64
+	fullViewQueries     atomic.Uint64
+	pagesScanned        atomic.Uint64
+	viewsCreated        atomic.Uint64
+	viewsReplaced       atomic.Uint64
+	viewsDiscarded      atomic.Uint64
+	viewsEvicted        atomic.Uint64
+	updatesBuffered     atomic.Uint64
+	updateBatches       atomic.Uint64
+	pagesAdded          atomic.Uint64
+	pagesRemoved        atomic.Uint64
+	viewsExpired        atomic.Uint64
+	viewsRebuilt        atomic.Uint64
+	publishes           atomic.Uint64
+	publishNanos        atomic.Uint64
+	publishAttemptNanos atomic.Uint64
+	publishErrors       atomic.Uint64
+	retireErrors        atomic.Uint64
 }
 
 func (s *engineStats) snapshot() Stats {
 	return Stats{
-		Queries:         s.queries.Load(),
-		FullViewQueries: s.fullViewQueries.Load(),
-		PagesScanned:    s.pagesScanned.Load(),
-		ViewsCreated:    s.viewsCreated.Load(),
-		ViewsReplaced:   s.viewsReplaced.Load(),
-		ViewsDiscarded:  s.viewsDiscarded.Load(),
-		ViewsEvicted:    s.viewsEvicted.Load(),
-		UpdatesBuffered: s.updatesBuffered.Load(),
-		UpdateBatches:   s.updateBatches.Load(),
-		PagesAdded:      s.pagesAdded.Load(),
-		PagesRemoved:    s.pagesRemoved.Load(),
-		ViewsExpired:    s.viewsExpired.Load(),
-		ViewsRebuilt:    s.viewsRebuilt.Load(),
-		StatePublishes:  s.publishes.Load(),
-		PublishNanos:    s.publishNanos.Load(),
-		PublishErrors:   s.publishErrors.Load(),
-		RetireErrors:    s.retireErrors.Load(),
+		Queries:             s.queries.Load(),
+		FullViewQueries:     s.fullViewQueries.Load(),
+		PagesScanned:        s.pagesScanned.Load(),
+		ViewsCreated:        s.viewsCreated.Load(),
+		ViewsReplaced:       s.viewsReplaced.Load(),
+		ViewsDiscarded:      s.viewsDiscarded.Load(),
+		ViewsEvicted:        s.viewsEvicted.Load(),
+		UpdatesBuffered:     s.updatesBuffered.Load(),
+		UpdateBatches:       s.updateBatches.Load(),
+		PagesAdded:          s.pagesAdded.Load(),
+		PagesRemoved:        s.pagesRemoved.Load(),
+		ViewsExpired:        s.viewsExpired.Load(),
+		ViewsRebuilt:        s.viewsRebuilt.Load(),
+		StatePublishes:      s.publishes.Load(),
+		PublishNanos:        s.publishNanos.Load(),
+		PublishAttemptNanos: s.publishAttemptNanos.Load(),
+		PublishErrors:       s.publishErrors.Load(),
+		RetireErrors:        s.retireErrors.Load(),
 	}
 }
 
@@ -195,6 +214,7 @@ func (s *engineStats) reset() {
 	s.viewsRebuilt.Store(0)
 	s.publishes.Store(0)
 	s.publishNanos.Store(0)
+	s.publishAttemptNanos.Store(0)
 	s.publishErrors.Store(0)
 	s.retireErrors.Store(0)
 }
@@ -220,6 +240,12 @@ func NewEngine(col *storage.Column, cfg Config) (*Engine, error) {
 		shards: make([]updateShard, resolveShards(cfg.UpdateShards)),
 	}
 	e.stateCond = sync.NewCond(&e.stateMu)
+	// Telemetry handles are resolved once here and only dereferenced on
+	// hot paths; the journal is nil (a single pointer test per event
+	// site) unless Config.JournalEvents enables it.
+	e.ins = newEngineInstruments()
+	e.journal = obs.NewJournal(cfg.JournalEvents, cfg.JournalClock)
+	e.mu.obs = &roomObs{wait: e.ins.roomWait, hold: e.ins.roomHold, journal: e.journal}
 	// Epoch routing needs the column's copy-on-write write path: a
 	// published capture must stay frozen while writers shadow pages.
 	col.EnableSnapshots()

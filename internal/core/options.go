@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/asv-db/asv/internal/bitvec"
+	"github.com/asv-db/asv/internal/obs"
 	"github.com/asv-db/asv/internal/storage"
 	"github.com/asv-db/asv/internal/view"
 	"github.com/asv-db/asv/internal/viewset"
@@ -22,6 +23,15 @@ type QueryOptions struct {
 	// GOMAXPROCS. Unset defers to Config.Parallelism.
 	Workers    int
 	HasWorkers bool
+	// Trace, when non-nil, records a span tree for this one query —
+	// state pin, routing, per-view scanning with tier/fault attribution,
+	// candidate materialization and the publication tail — into the
+	// trace's root span and returns it on Answer.Trace. Nil (the
+	// default) keeps the query path allocation-free: every trace site is
+	// a nil span test, like Engine.tier. Spans are recorded only by the
+	// coordinating goroutine; sharded scan workers never touch the
+	// trace.
+	Trace *obs.Trace
 }
 
 // Answer is the unified result of QueryOpt: the routing telemetry every
@@ -31,6 +41,9 @@ type Answer struct {
 	QueryResult
 	Rows *RowSet
 	Agg  *Aggregate
+	// Trace echoes QueryOptions.Trace with the recorded span tree (nil
+	// when tracing was off).
+	Trace *obs.Trace
 }
 
 // QueryOpt answers the inclusive range query [lo, hi] according to the
@@ -53,13 +66,18 @@ func (e *Engine) QueryOpt(lo, hi uint64, opt QueryOptions) (Answer, error) {
 	if e.cfg.RoomLockReads {
 		return e.queryOptRoomPath(lo, hi, opt)
 	}
+	if opt.Trace != nil {
+		return e.queryOptTraced(lo, hi, opt)
+	}
 	if !e.cfg.Adaptive {
 		if err := e.flushPendingForRead(); err != nil {
 			return Answer{}, err
 		}
 		st := e.acquireState()
 		defer e.releaseState(st)
-		return e.answerState(st, lo, hi, opt, false)
+		ans, err := e.answerState(st, lo, hi, opt, false)
+		e.journalTierPromotions()
+		return ans, err
 	}
 	if err := e.flushPendingForRead(); err != nil {
 		return Answer{}, err
@@ -71,7 +89,9 @@ func (e *Engine) QueryOpt(lo, hi uint64, opt QueryOptions) (Answer, error) {
 	if err != nil {
 		return ans, err
 	}
-	return ans, e.finishAdaptive(&ans, cand, gen)
+	err = e.finishAdaptive(&ans, cand, gen)
+	e.journalTierPromotions()
+	return ans, err
 }
 
 // finishAdaptive runs the shared tail of every adaptive read path:
@@ -157,9 +177,10 @@ func (e *Engine) answerState(st *engineState, lo, hi uint64, opt QueryOptions, c
 		e.stats.queries.Add(1)
 	}
 	var ans Answer
+	ans.Trace = opt.Trace
 	collect := e.buildCollect(lo, hi, opt, &ans)
 	workers := e.resolveOptWorkers(opt)
-	res, _, err := e.scanState(st, lo, hi, collect, workers, false)
+	res, _, err := e.scanState(st, lo, hi, collect, workers, false, traceRoot(opt))
 	ans.QueryResult = res
 	if err != nil {
 		return ans, err
@@ -231,9 +252,10 @@ func sealAnswer(ans *Answer) error {
 // caller to publish under the exclusive room.
 func (e *Engine) answerStateAdapt(st *engineState, lo, hi uint64, opt QueryOptions) (Answer, *view.View, error) {
 	var ans Answer
+	ans.Trace = opt.Trace
 	collect := e.buildCollect(lo, hi, opt, &ans)
 	workers := e.resolveOptWorkers(opt)
-	res, cand, err := e.scanState(st, lo, hi, collect, workers, true)
+	res, cand, err := e.scanState(st, lo, hi, collect, workers, true, traceRoot(opt))
 	ans.QueryResult = res
 	if err != nil {
 		return ans, cand, err
@@ -284,12 +306,13 @@ func (e *Engine) routeState(snap *viewset.Snapshot, lo, hi uint64) []*viewset.Sn
 // candidate view from query-private state for the caller to publish.
 // Nothing here reads live view or set fields, which is what lets any
 // number of scans overlap alignment, rebuilds and retirement.
-func (e *Engine) scanState(st *engineState, lo, hi uint64, collect func(uint64, []byte), workers int, adapt bool) (QueryResult, *view.View, error) {
+func (e *Engine) scanState(st *engineState, lo, hi uint64, collect func(uint64, []byte), workers int, adapt bool, tsp *obs.Span) (QueryResult, *view.View, error) {
 	if !e.cfg.Adaptive {
-		res, err := e.fullScanState(st, lo, hi, collect, workers)
+		res, err := e.fullScanState(st, lo, hi, collect, workers, tsp)
 		return res, nil, err
 	}
 	snap := st.snap
+	route := tsp.Child("route")
 	sources := e.routeState(snap, lo, hi)
 	res := QueryResult{ViewsUsed: len(sources)}
 	for _, sv := range sources {
@@ -298,6 +321,15 @@ func (e *Engine) scanState(st *engineState, lo, hi uint64, collect func(uint64, 
 			e.stats.fullViewQueries.Add(1)
 		}
 	}
+	if route != nil {
+		route.SetAttr("views", int64(len(sources)))
+		if res.UsedFullView {
+			route.SetAttr("full_view", 1)
+		}
+		route.Finish()
+	}
+	scanSp := tsp.Child("scan")
+	tierBase, mapBase := e.traceBaselines(scanSp)
 	var processed *bitvec.Vector
 	if len(sources) > 1 {
 		processed = e.getProcessed()
@@ -330,6 +362,18 @@ func (e *Engine) scanState(st *engineState, lo, hi uint64, collect func(uint64, 
 	}
 	for _, sv := range sources {
 		n := sv.NumPages()
+		var vsp *obs.Span
+		var vspBefore int
+		if scanSp != nil {
+			vspBefore = res.PagesScanned
+			vsp = scanSp.Child("view")
+			vsp.SetAttr("lo", int64(sv.Lo()))
+			vsp.SetAttr("hi", int64(sv.Hi()))
+			vsp.SetAttr("tlb_pages", int64(n))
+			if sv.Lazy() {
+				vsp.SetAttr("lazy", 1)
+			}
+		}
 		fetch := func(i int) ([]byte, error) { return sv.PageBytes(i), nil }
 		if processed != nil {
 			if workers <= 1 {
@@ -352,6 +396,10 @@ func (e *Engine) scanState(st *engineState, lo, hi uint64, collect func(uint64, 
 					if emit != nil {
 						emit(pid, pg)
 					}
+				}
+				if vsp != nil {
+					vsp.SetAttr("pages_scanned", int64(res.PagesScanned-vspBefore))
+					vsp.Finish()
 				}
 				continue
 			}
@@ -380,8 +428,15 @@ func (e *Engine) scanState(st *engineState, lo, hi uint64, collect func(uint64, 
 		res.Count += qual.Count
 		res.Sum += qual.Sum
 		ext.ObserveExcluded(excl)
+		if vsp != nil {
+			vsp.SetAttr("pages_scanned", int64(res.PagesScanned-vspBefore))
+			vsp.Finish()
+		}
 	}
 	e.stats.pagesScanned.Add(uint64(res.PagesScanned))
+	if scanSp != nil {
+		e.finishScanSpan(scanSp, &res, tierBase, mapBase)
+	}
 
 	if builder == nil {
 		return res, nil, nil
@@ -394,7 +449,9 @@ func (e *Engine) scanState(st *engineState, lo, hi uint64, collect func(uint64, 
 	if cHi > srcHi {
 		cHi = srcHi
 	}
+	mat := tsp.Child("materialize")
 	cand, err := builder.Finish(cLo, cHi)
+	mat.Finish()
 	if err != nil {
 		return res, nil, err
 	}
@@ -405,10 +462,15 @@ func (e *Engine) scanState(st *engineState, lo, hi uint64, collect func(uint64, 
 // the baseline path. The same page-sharded kernel serves aggregates and
 // collecting callers; the autopilot's cost model picks the fan-out and
 // is fed the observed wall time exactly like the routed path.
-func (e *Engine) fullScanState(st *engineState, lo, hi uint64, collect func(uint64, []byte), workers int) (QueryResult, error) {
+func (e *Engine) fullScanState(st *engineState, lo, hi uint64, collect func(uint64, []byte), workers int, tsp *obs.Span) (QueryResult, error) {
 	res := QueryResult{ViewsUsed: 1, UsedFullView: true}
 	full := st.snap.Full()
 	n := full.NumPages()
+	scanSp := tsp.Child("scan")
+	tierBase, mapBase := e.traceBaselines(scanSp)
+	if scanSp != nil {
+		scanSp.SetAttr("tlb_pages", int64(n))
+	}
 	fetch := func(i int) ([]byte, error) { return full.PageBytes(i), nil }
 	var emit func(pid uint64, pg []byte)
 	if collect != nil {
@@ -423,5 +485,8 @@ func (e *Engine) fullScanState(st *engineState, lo, hi uint64, collect func(uint
 	res.PagesScanned = n
 	e.stats.pagesScanned.Add(uint64(n))
 	e.stats.fullViewQueries.Add(1)
+	if scanSp != nil {
+		e.finishScanSpan(scanSp, &res, tierBase, mapBase)
+	}
 	return res, nil
 }

@@ -22,14 +22,20 @@ func (e *Engine) scanPagesAdaptive(n, workers int, lo, hi uint64,
 	emit func(pid uint64, pg []byte)) (qual, excl storage.PageScan, err error) {
 
 	filter := e.pageFilter(lo, hi)
-	if e.model == nil {
-		return scanPages(n, workers, filter, fetch, emit)
+	w := workers
+	if e.model != nil {
+		w = e.model.ScanWorkers(n, workers, minParallelScanPages)
 	}
-	w := e.model.ScanWorkers(n, workers, minParallelScanPages)
 	t0 := time.Now()
 	qual, excl, err = scanPages(n, w, filter, fetch, emit)
 	if err == nil {
-		e.model.ObserveScan(n, w, time.Since(t0))
+		elapsed := time.Since(t0)
+		if e.model != nil {
+			e.model.ObserveScan(n, w, elapsed)
+		}
+		if n > 0 {
+			e.ins.scanNsPerPage.Observe(uint64(elapsed) / uint64(n))
+		}
 	}
 	return qual, excl, err
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"github.com/asv-db/asv/internal/autopilot"
+	"github.com/asv-db/asv/internal/obs"
 	"github.com/asv-db/asv/internal/view"
 )
 
@@ -41,8 +42,10 @@ type pilotTarget struct{ e *Engine }
 // ApplyWrites applies a coalesced group of writes in one update-room
 // entry — the engine-side group commit that turns lone fire-and-forget
 // Updates into a single room turn.
-func (t pilotTarget) ApplyWrites(ws []autopilot.Write) error {
+func (t pilotTarget) ApplyWrites(ws []autopilot.Write) (err error) {
 	e := t.e
+	e.journalDutyBegin(obs.DutyApply)
+	defer func() { e.journalDutyEnd(obs.DutyApply, int64(len(ws)), err) }()
 	e.mu.UpdateLock()
 	defer e.mu.UpdateUnlock()
 	for _, w := range ws {
@@ -56,7 +59,9 @@ func (t pilotTarget) ApplyWrites(ws []autopilot.Write) error {
 // AlignPending runs §2.4 alignment over the applied-but-unaligned
 // updates in one exclusive-room slice.
 func (t pilotTarget) AlignPending() error {
-	_, err := t.e.flushApplied()
+	t.e.journalDutyBegin(obs.DutyAlign)
+	st, err := t.e.flushApplied()
+	t.e.journalDutyEnd(obs.DutyAlign, int64(st.NetUpdates), err)
 	return err
 }
 
@@ -119,9 +124,11 @@ func viewFragmentation(v *view.View) (float64, error) {
 // advisory, membership is re-validated here.
 func (t pilotTarget) EvictViews(handles []any) (int, error) {
 	e := t.e
+	e.journalDutyBegin(obs.DutyEvict)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
+		e.journalDutyEnd(obs.DutyEvict, 0, nil)
 		return 0, nil
 	}
 	evicted := 0
@@ -131,6 +138,7 @@ func (t pilotTarget) EvictViews(handles []any) (int, error) {
 		if !ok || !e.set.Remove(v) {
 			continue
 		}
+		e.journalViewEvent(obs.EvViewExpired, v.Lo(), v.Hi())
 		// Drops the set's owner reference; a pinned epoch still routing
 		// to the view keeps it mapped until that state drains.
 		if err := v.Release(); err != nil && firstErr == nil {
@@ -144,6 +152,7 @@ func (t pilotTarget) EvictViews(handles []any) (int, error) {
 			firstErr = err
 		}
 	}
+	e.journalDutyEnd(obs.DutyEvict, int64(evicted), firstErr)
 	return evicted, firstErr
 }
 
@@ -152,8 +161,16 @@ func (t pilotTarget) EvictViews(handles []any) (int, error) {
 // release — a failed creation leaves the old view serving). The room
 // handover between slices lets readers and writers interleave with a
 // multi-view maintenance sweep.
-func (t pilotTarget) RebuildView(h any) (bool, error) {
+func (t pilotTarget) RebuildView(h any) (rebuilt bool, err error) {
 	e := t.e
+	e.journalDutyBegin(obs.DutyRebuild)
+	defer func() {
+		work := int64(0)
+		if rebuilt {
+			work = 1
+		}
+		e.journalDutyEnd(obs.DutyRebuild, work, err)
+	}()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	v, ok := h.(*view.View)
@@ -177,6 +194,7 @@ func (t pilotTarget) RebuildView(h any) (bool, error) {
 		return false, nil
 	}
 	e.stats.viewsRebuilt.Add(1)
+	e.journalViewEvent(obs.EvViewRebuilt, lo, hi)
 	err = e.releaseView(v)
 	if perr := e.publishStateLocked(); perr != nil && err == nil {
 		err = perr
@@ -212,9 +230,11 @@ func (t pilotTarget) DemotePages(handles []any, maxPages int) (int, error) {
 	if e.tier == nil || maxPages <= 0 {
 		return 0, nil
 	}
+	e.journalDutyBegin(obs.DutyDemote)
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
+		e.journalDutyEnd(obs.DutyDemote, 0, nil)
 		return 0, nil
 	}
 	demoted := 0
@@ -243,21 +263,27 @@ func (t pilotTarget) DemotePages(handles []any, maxPages int) (int, error) {
 			}
 		}
 	}
+	if demoted > 0 && e.journal != nil {
+		e.journal.Record(obs.EvTierDemoteBatch, int64(demoted), int64(maxPages), 0)
+	}
+	e.journalDutyEnd(obs.DutyDemote, int64(demoted), firstErr)
 	return demoted, firstErr
 }
 
 // WarmView re-resolves one hot view's soft-TLB in an exclusive-room
 // slice (Warm writes view state), returning how many translations were
 // cold.
-func (t pilotTarget) WarmView(h any) (int, error) {
+func (t pilotTarget) WarmView(h any) (n int, err error) {
 	e := t.e
+	e.journalDutyBegin(obs.DutyWarm)
+	defer func() { e.journalDutyEnd(obs.DutyWarm, int64(n), err) }()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	v, ok := h.(*view.View)
 	if !ok || e.closed || !e.set.Contains(v) {
 		return 0, nil
 	}
-	n, err := v.Warm()
+	n, err = v.Warm()
 	if n > 0 {
 		// Warming re-resolved translations (and may have materialized a
 		// lazy view): the cached capture no longer matches the view's

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"github.com/asv-db/asv/internal/obs"
 	"github.com/asv-db/asv/internal/view"
 	"github.com/asv-db/asv/internal/viewset"
 )
@@ -65,15 +66,19 @@ func (e *Engine) applyDecision(dec viewset.Decision, cand, displaced *view.View)
 	switch dec {
 	case viewset.Inserted:
 		e.stats.viewsCreated.Add(1)
+		e.journalViewEvent(obs.EvViewInserted, cand.Lo(), cand.Hi())
 	case viewset.Replaced:
 		e.stats.viewsReplaced.Add(1)
+		e.journalViewEvent(obs.EvViewReplaced, cand.Lo(), cand.Hi())
 		return displaced.Release()
 	case viewset.Evicted:
 		e.stats.viewsCreated.Add(1)
 		e.stats.viewsEvicted.Add(1)
+		e.journalViewEvent(obs.EvViewEvicted, displaced.Lo(), displaced.Hi())
 		return displaced.Release()
 	default:
 		e.stats.viewsDiscarded.Add(1)
+		e.journalViewEvent(obs.EvViewDiscarded, cand.Lo(), cand.Hi())
 		return cand.Release()
 	}
 	return nil

@@ -1,6 +1,11 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"time"
+
+	"github.com/asv-db/asv/internal/obs"
+)
 
 // The engine's locking discipline needs three access modes, one more than
 // a sync.RWMutex offers:
@@ -44,6 +49,23 @@ type roomLock struct {
 	phase   uint64
 	waiting [roomKinds]int
 	rr      int // round-robin offset for the next handover choice
+
+	// obs, when set (once, before first use), observes per-mode wait and
+	// hold time and journals handovers. openedAt stamps the current
+	// room's opening (guarded by mu). Fast admissions into an already-
+	// open room never touch the clock — only queued entries and room
+	// transitions pay for telemetry.
+	obs      *roomObs
+	openedAt time.Time
+}
+
+// roomObs is the room lock's telemetry sink: per-mode wait/hold
+// histograms (indexed by room kind) plus the engine's event journal for
+// handover events (nil-safe).
+type roomObs struct {
+	wait    [roomKinds]*obs.Histogram
+	hold    [roomKinds]*obs.Histogram
+	journal *obs.Journal
 }
 
 // RLock enters the scan-shared room (read-locked query path).
@@ -85,6 +107,10 @@ func (l *roomLock) enter(kind int) {
 		l.mu.Unlock()
 		return
 	}
+	var t0 time.Time
+	if l.obs != nil {
+		t0 = time.Now()
+	}
 	l.waiting[kind]++
 	// A woken waiter consumes one handover grant of its room — but only
 	// a waiter that queued BEFORE the handover (phase check). Without it,
@@ -102,6 +128,9 @@ func (l *roomLock) enter(kind int) {
 	l.waiting[kind]--
 	l.active++
 	l.mu.Unlock()
+	if l.obs != nil {
+		l.obs.wait[kind].Observe(uint64(time.Since(t0)))
+	}
 }
 
 // fastAdmit admits the caller without queueing when possible. Caller
@@ -112,6 +141,9 @@ func (l *roomLock) fastAdmit(kind int) bool {
 		// roomNone implies nobody is queued; open the room directly.
 		l.room = kind
 		l.active = 1
+		if l.obs != nil {
+			l.openedAt = time.Now()
+		}
 		return true
 	}
 	if l.room != kind || kind == roomExcl {
@@ -145,6 +177,10 @@ func (l *roomLock) leave() {
 // chosen shared room (or exactly one exclusive waiter) admission. Caller
 // holds l.mu.
 func (l *roomLock) handover() {
+	from := l.room
+	if l.obs != nil && from != roomNone {
+		l.obs.hold[from].Observe(uint64(time.Since(l.openedAt)))
+	}
 	const kinds = roomKinds - 1 // selectable rooms: scan, update, excl
 	for i := 0; i < kinds; i++ {
 		k := (l.rr+i)%kinds + 1
@@ -158,6 +194,10 @@ func (l *roomLock) handover() {
 			l.grants = 1
 		} else {
 			l.grants = l.waiting[k]
+		}
+		if l.obs != nil {
+			l.openedAt = time.Now()
+			l.obs.journal.Record(obs.EvRoomHandover, int64(from), int64(k), int64(l.grants))
 		}
 		l.cond.Broadcast()
 		return

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/asv-db/asv/internal/obs"
 	"github.com/asv-db/asv/internal/viewset"
 	"github.com/asv-db/asv/internal/vmsim"
 )
@@ -81,6 +82,11 @@ type engineState struct {
 	// next is the successor state, set at retirement. The reclaim walk
 	// follows it to advance the oldest-state pointer.
 	next *engineState
+
+	// publishedAt stamps the publication instant (ns, monotonic-derived
+	// wall clock); the reclaim walk reports publish→drain lag from it.
+	// Written before the state is stored, like every immutable field.
+	publishedAt int64
 }
 
 // initState publishes the engine's first state; called from NewEngine
@@ -91,7 +97,7 @@ func (e *Engine) initState() error {
 	if err != nil {
 		return err
 	}
-	st := &engineState{snap: snap}
+	st := &engineState{snap: snap, publishedAt: time.Now().UnixNano()}
 	st.refs.init(1)
 	e.state.Store(st)
 	e.oldest = st
@@ -151,6 +157,10 @@ func (e *Engine) publishStateLocked() error {
 		// publication (freeing late is safe, dropping them would leak).
 		e.pendingRetired = retired
 		e.stats.publishErrors.Add(1)
+		// Failed attempts burn exclusive-room wall time too; without
+		// this line the error path would vanish from latency accounting
+		// (PublishNanos counts successes only).
+		e.stats.publishAttemptNanos.Add(uint64(time.Since(t0)))
 		return err
 	}
 	// The capture may have dropped the previous delta cache's last
@@ -164,15 +174,24 @@ func (e *Engine) publishStateLocked() error {
 		}
 		e.stateMu.Unlock()
 	}
-	st := &engineState{snap: snap, gen: e.gen, closed: e.closed}
+	st := &engineState{snap: snap, gen: e.gen, closed: e.closed, publishedAt: time.Now().UnixNano()}
 	st.refs.init(1)
 	old := e.state.Load()
 	old.retiredFrames = retired
 	old.next = st
 	e.state.Store(st)
+	// Journal the publication before dropping old's publication reference:
+	// that drop may retire old inline, and the timeline should read
+	// published(N+1) then retired(N).
+	if e.journal != nil {
+		e.journal.Record(obs.EvEpochPublished, int64(e.gen), int64(snap.Recaptured()), int64(len(retired)))
+	}
 	e.releaseState(old) // drop old's publication reference
 	e.stats.publishes.Add(1)
-	e.stats.publishNanos.Add(uint64(time.Since(t0)))
+	elapsed := uint64(time.Since(t0))
+	e.stats.publishNanos.Add(elapsed)
+	e.stats.publishAttemptNanos.Add(elapsed)
+	e.ins.publishRecaptured.Observe(uint64(snap.Recaptured()))
 	return nil
 }
 
@@ -187,6 +206,7 @@ func (e *Engine) reclaim() {
 	e.stateMu.Lock()
 	defer e.stateMu.Unlock()
 	advanced := false
+	now := time.Now().UnixNano()
 	for {
 		st := e.oldest
 		// The drained check must precede any read of next/retiredFrames:
@@ -207,6 +227,14 @@ func (e *Engine) reclaim() {
 		}
 		for _, fr := range st.retiredFrames {
 			e.col.Kernel().FreeFrame(fr)
+		}
+		lag := now - st.publishedAt
+		if lag < 0 {
+			lag = 0
+		}
+		e.ins.retireLag.Observe(uint64(lag))
+		if e.journal != nil {
+			e.journal.Record(obs.EvEpochRetired, int64(st.gen), lag, int64(len(st.retiredFrames)))
 		}
 		st.retiredFrames = nil
 		e.oldest = st.next

@@ -8,6 +8,7 @@ import (
 
 	"github.com/asv-db/asv/internal/autopilot"
 	"github.com/asv-db/asv/internal/core"
+	"github.com/asv-db/asv/internal/obs"
 	"github.com/asv-db/asv/internal/workload"
 )
 
@@ -78,6 +79,8 @@ func RunAutopilot(s Scale) (*Table, error) {
 		t.AddRow(itoa(int(c.latency/time.Microsecond)), itoa(c.writers), itoa(c.readers),
 			f2(lone.upds), f2(auto.upds), f2(batch.upds),
 			f2(auto.coalesce), ms(auto.p50), ms(auto.p99), f2(auto.qps))
+		tel := auto.tel
+		t.Telemetry = &tel
 		s.logf("autopilot: lat=%s writers=%d readers=%d done", c.latency, c.writers, c.readers)
 	}
 	return t, nil
@@ -98,6 +101,7 @@ type autopilotResult struct {
 	qps      float64
 	coalesce float64
 	p50, p99 time.Duration
+	tel      obs.Snapshot
 }
 
 // runAutopilotCell runs one (latency, writers, readers) cell through one
@@ -210,9 +214,13 @@ func runAutopilotCell(s Scale, c autopilotCell, path writePath) (autopilotResult
 		if p := eng.Autopilot(); p != nil {
 			m := p.Metrics()
 			res.coalesce = m.AvgCoalesce()
+			// p50/p99 via the deprecated sample wrappers on purpose: the
+			// panel doubles as a regression check that the quantile-derived
+			// samples track the underlying histogram.
 			lats := p.FlushLatencies()
 			res.p50 = autopilot.Percentile(lats, 0.50)
 			res.p99 = autopilot.Percentile(lats, 0.99)
+			res.tel = eng.Telemetry()
 		}
 		cleanup()
 		if firstErr != nil {

@@ -14,6 +14,8 @@ import (
 	"io"
 	"strings"
 	"time"
+
+	"github.com/asv-db/asv/internal/obs"
 )
 
 // Scale parameterizes experiment sizes. The paper runs on 1M-page (4 GB)
@@ -78,6 +80,11 @@ type Table struct {
 	Title  string
 	Header []string
 	Rows   [][]string
+
+	// Telemetry, when set, is the unified instrument snapshot of the
+	// panel's last engine — embedded in asvbench's JSON artifacts so
+	// nightly runs can diff histogram quantiles alongside the rows.
+	Telemetry *obs.Snapshot
 }
 
 // AddRow appends a formatted row.

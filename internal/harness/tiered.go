@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/asv-db/asv/internal/core"
+	"github.com/asv-db/asv/internal/obs"
 	"github.com/asv-db/asv/internal/vmsim"
 	"github.com/asv-db/asv/internal/workload"
 )
@@ -54,12 +55,13 @@ func RunTiered(s Scale) (*Table, error) {
 			best    vmsim.TierStats
 		)
 		for run := 0; run < s.Runs; run++ {
-			qps, stats, err := runTieredCell(sc, frac, queries, expected)
+			qps, stats, tel, err := runTieredCell(sc, frac, queries, expected)
 			if err != nil {
 				return nil, fmt.Errorf("harness: tiered frac %g: %w", frac, err)
 			}
 			if qps > bestQPS {
 				bestQPS, best = qps, stats
+				t.Telemetry = &tel
 			}
 		}
 		nq := float64(len(queries))
@@ -102,11 +104,19 @@ func tieredReference(sc Scale, queries []workload.Query) ([]core.QueryResult, er
 
 // runTieredCell measures one hot-fraction cell on a fresh column: attach
 // a tier with HotFrames = frac * pages, demote every page, then answer
-// the sweep and report throughput plus the tier counters.
-func runTieredCell(sc Scale, frac float64, queries []workload.Query, expected []core.QueryResult) (float64, vmsim.TierStats, error) {
+// the sweep and report throughput plus the tier counters and the
+// engine's telemetry snapshot. The cell runs with the event journal
+// enabled; if a query's answer diverges from the untiered reference,
+// the journal is dumped through the Scale's progress writer so the
+// engine-event timeline leading up to the divergence survives the
+// failure.
+func runTieredCell(sc Scale, frac float64, queries []workload.Query, expected []core.QueryResult) (float64, vmsim.TierStats, obs.Snapshot, error) {
+	fail := func(err error) (float64, vmsim.TierStats, obs.Snapshot, error) {
+		return 0, vmsim.TierStats{}, obs.Snapshot{}, err
+	}
 	col, err := newFig4Column(sc, "sine")
 	if err != nil {
-		return 0, vmsim.TierStats{}, err
+		return fail(err)
 	}
 	defer func() { _ = col.Close() }() //asv:ignore-err benchmark teardown; measurement errors are returned separately
 
@@ -116,9 +126,10 @@ func runTieredCell(sc Scale, frac float64, queries []workload.Query, expected []
 	}
 	cfg := tieredPanelConfig()
 	cfg.Tiering = &vmsim.TierConfig{HotFrames: hot}
+	cfg.JournalEvents = 512
 	eng, err := core.NewEngine(col, cfg)
 	if err != nil {
-		return 0, vmsim.TierStats{}, err
+		return fail(err)
 	}
 	defer func() { _ = eng.Close() }() //asv:ignore-err benchmark teardown; measurement errors are returned separately
 
@@ -131,20 +142,25 @@ func runTieredCell(sc Scale, frac float64, queries []workload.Query, expected []
 	for i, q := range queries {
 		r, err := eng.Query(q.Lo, q.Hi)
 		if err != nil {
-			return 0, vmsim.TierStats{}, err
+			return fail(err)
 		}
 		if r.Count != expected[i].Count || r.Sum != expected[i].Sum {
-			return 0, vmsim.TierStats{}, fmt.Errorf(
-				"query %d [%d,%d]: tiered (%d,%d) != untiered reference (%d,%d)",
-				i, q.Lo, q.Hi, r.Count, r.Sum, expected[i].Count, expected[i].Sum)
+			evs := eng.Journal().Events()
+			sc.logf("tiered: equivalence failure at query %d — dumping %d journal events", i, len(evs))
+			for _, ev := range evs {
+				sc.logf("tiered:   %s", ev)
+			}
+			return fail(fmt.Errorf(
+				"query %d [%d,%d]: tiered (%d,%d) != untiered reference (%d,%d); %d journal events dumped",
+				i, q.Lo, q.Hi, r.Count, r.Sum, expected[i].Count, expected[i].Sum, len(evs)))
 		}
 	}
 	elapsed := time.Since(start)
 	stats, ok := eng.TierStats()
 	if !ok {
-		return 0, vmsim.TierStats{}, fmt.Errorf("tiered engine reports no tier stats")
+		return fail(fmt.Errorf("tiered engine reports no tier stats"))
 	}
-	return float64(len(queries)) / elapsed.Seconds(), stats, nil
+	return float64(len(queries)) / elapsed.Seconds(), stats, eng.Telemetry(), nil
 }
 
 // tieredPanelConfig is the shared adaptive configuration of the

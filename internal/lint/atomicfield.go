@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // The atomicfield analyzer enforces all-or-nothing atomicity on struct
@@ -15,6 +16,14 @@ import (
 // run. (Fields of the atomic.Int64-style wrapper types are immune by
 // construction — the type system already forbids plain access — so the
 // analyzer only concerns itself with function-style sync/atomic use.)
+//
+// The analyzer also knows the obs telemetry instruments: a struct field
+// holding a raw obs.Counter / obs.Gauge / obs.Histogram value (directly
+// or inside an array/slice) is rejected. Instruments are shared atomics
+// behind a handle stored once at construction; a value field forks the
+// counts whenever the struct is copied, and the copy compiles fine — the
+// instrument's pointer-receiver methods auto-address the field — so only
+// a module-wide rule catches the drift.
 func runAtomicField(m *Module) []Diagnostic {
 	type access struct {
 		pos       ast.Node
@@ -91,7 +100,78 @@ func runAtomicField(m *Module) []Diagnostic {
 				p.key),
 		})
 	}
+	diags = append(diags, rawInstrumentFields(m)...)
 	return diags
+}
+
+// rawInstrumentFields flags struct fields that hold an obs instrument by
+// value. The obs package itself is exempt: it owns the instrument
+// internals and its snapshot types are values by design.
+func rawInstrumentFields(m *Module) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range m.pkgs {
+		if isObsPkgPath(pkg.ImportPath) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, f := range st.Fields.List {
+					inst, ok := rawInstrumentType(pkg.Info.TypeOf(f.Type))
+					if !ok {
+						continue
+					}
+					name := inst // embedded field: named after the type
+					if len(f.Names) > 0 {
+						parts := make([]string, len(f.Names))
+						for i, id := range f.Names {
+							parts[i] = id.Name
+						}
+						name = strings.Join(parts, ", ")
+					}
+					diags = append(diags, Diagnostic{
+						Pos:      m.fset.Position(f.Type.Pos()),
+						Analyzer: "atomicfield",
+						Message: fmt.Sprintf("field %s holds a raw obs.%s value; instrument fields must be pointer handles (*obs.%s) so struct copies cannot fork the counts",
+							name, inst, inst),
+					})
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// rawInstrumentType unwraps arrays and slices and reports whether the
+// element is a value-typed obs instrument; pointer elements are the
+// sanctioned handle form and pass.
+func rawInstrumentType(t types.Type) (string, bool) {
+	for {
+		switch u := t.(type) {
+		case *types.Array:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		default:
+			named, ok := t.(*types.Named)
+			if !ok {
+				return "", false
+			}
+			obj := named.Obj()
+			if obj.Pkg() == nil || !isObsPkgPath(obj.Pkg().Path()) {
+				return "", false
+			}
+			switch obj.Name() {
+			case "Counter", "Gauge", "Histogram":
+				return obj.Name(), true
+			}
+			return "", false
+		}
+	}
 }
 
 // fieldKeyOf identifies a struct-field selection module-wide as

@@ -27,13 +27,19 @@
 //     CaptureSnapshot, frame allocation, Snapshot handles) also
 //     releases it (Release, FreeFrame, Close, ReleaseViews) somewhere
 //     in the same function, or explicitly transfers ownership with an
-//     //asv:handoff line directive.
+//     //asv:handoff line directive. Snapshot methods of the obs
+//     telemetry package are exempt: they return plain value copies,
+//     not handles.
 //
 //   - atomicfield: a struct field accessed through a sync/atomic
 //     function anywhere in the module must be accessed atomically
 //     everywhere — a single plain read of a field that is elsewhere
 //     atomic.AddUint64'd is a data race the race detector only catches
-//     probabilistically.
+//     probabilistically. The analyzer also rejects struct fields that
+//     hold an obs telemetry instrument (Counter, Gauge, Histogram) by
+//     value: instruments are shared atomics behind pointer handles
+//     stored once at construction, and a value field silently forks
+//     the counts whenever the struct is copied.
 //
 //   - droppederr: an error result discarded by assigning it to the
 //     blank identifier requires an //asv:ignore-err <reason> directive;

@@ -18,6 +18,15 @@ import (
 	"strings"
 )
 
+// isObsPkgPath reports whether path names the obs telemetry package
+// (import path "obs" or any path ending in "/obs"). The match is by
+// suffix so the lint fixture corpus's look-alike package
+// (fixture.example/obs) trips the same obs-aware rules the real module
+// does.
+func isObsPkgPath(path string) bool {
+	return path == "obs" || strings.HasSuffix(path, "/obs")
+}
+
 // Package is one type-checked module package: the parsed files plus the
 // go/types results the analyzers consume.
 type Package struct {

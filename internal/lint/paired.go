@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/types"
 )
 
 // acquireReleasePairs names the module's refcount/allocation protocols:
@@ -59,7 +60,7 @@ func (m *Module) checkPairedFunc(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
 			return true
 		}
 		present[f.Name()] = true
-		if _, isAcquire := acquireReleasePairs[f.Name()]; isAcquire {
+		if _, isAcquire := acquireReleasePairs[f.Name()]; isAcquire && !obsSnapshotFunc(f) {
 			acquires = append(acquires, acquireSite{call, f.Name()})
 		}
 		return true
@@ -89,6 +90,15 @@ func (m *Module) checkPairedFunc(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
 		})
 	}
 	return diags
+}
+
+// obsSnapshotFunc reports whether f is declared in the obs telemetry
+// package. obs Snapshot methods return plain value copies of lock-free
+// instruments — there is no handle to release — so the viewset Snapshot
+// protocol does not apply to them.
+func obsSnapshotFunc(f *types.Func) bool {
+	pkg := f.Pkg()
+	return pkg != nil && isObsPkgPath(pkg.Path())
 }
 
 func orList(names []string) string {

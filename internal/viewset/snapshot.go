@@ -149,7 +149,11 @@ type Snapshot struct {
 	full   *SnapView
 	chunks []*snapChunk
 	n      int // total captured partial views
-	frozen bool
+	// recaptured counts the views captured fresh by this snapshot (new
+	// or dirty since the parent) — the per-publication work the delta
+	// design keeps small; telemetry reports it as the publication size.
+	recaptured int
+	frozen     bool
 }
 
 // Snapshot captures the current routed state as a structural delta over
@@ -172,6 +176,7 @@ func (s *Set) Snapshot(fullPages [][]byte) (*Snapshot, error) {
 	n := len(s.partials)
 	nc := (n + snapChunkSize - 1) / snapChunkSize
 	chunks := make([]*snapChunk, 0, nc)
+	recaptured := 0
 	var err error
 outer:
 	for ci := 0; ci < nc; ci++ {
@@ -196,6 +201,7 @@ outer:
 				if err != nil {
 					break outer
 				}
+				recaptured++
 			}
 			sv.refs.Add(1)
 			ch.entries = append(ch.entries, sv)
@@ -209,7 +215,7 @@ outer:
 		}
 		return nil, err
 	}
-	snap := &Snapshot{set: s, full: full, chunks: chunks, n: n, frozen: s.frozen}
+	snap := &Snapshot{set: s, full: full, chunks: chunks, n: n, recaptured: recaptured, frozen: s.frozen}
 	s.refreshCaptureCache(chunks)
 	return snap, nil
 }
@@ -403,6 +409,10 @@ func (s *Snapshot) Chunks() int { return len(s.chunks) }
 
 // Len returns the number of captured partial views.
 func (s *Snapshot) Len() int { return s.n }
+
+// Recaptured returns the number of views this capture re-captured fresh
+// instead of sharing with its parent — the publication's real size.
+func (s *Snapshot) Recaptured() int { return s.recaptured }
 
 // Frozen reports whether the set had hit its view limit at capture time.
 func (s *Snapshot) Frozen() bool { return s.frozen }

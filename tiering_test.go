@@ -147,8 +147,9 @@ func TestCreateViewWrapperEquivalence(t *testing.T) {
 			t.Fatalf("%s views %+v != legacy %+v", name, got, want)
 		}
 		got, wantStats := col.Stats(), legacy.Stats()
-		// PublishNanos is wall time — the one field allowed to differ.
+		// Publication wall time is allowed to differ.
 		got.PublishNanos, wantStats.PublishNanos = 0, 0
+		got.PublishAttemptNanos, wantStats.PublishAttemptNanos = 0, 0
 		if got != wantStats {
 			t.Fatalf("%s telemetry %+v != legacy %+v", name, got, wantStats)
 		}
