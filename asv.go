@@ -288,6 +288,12 @@ type Column struct {
 	eng    *core.Engine
 	name   string
 	closed atomic.Bool
+
+	// closeHook, when set (tests only), injects an extra error source
+	// into Close after the engine and storage have released — the seam
+	// behind TestDBCloseAllColumnsOnError, which pins that DB.Close
+	// keeps closing every remaining column past the first failure.
+	closeHook func() error
 }
 
 // Name returns the column name.
@@ -396,6 +402,11 @@ func (c *Column) Close() error {
 	firstErr := c.eng.Close()
 	if err := c.col.Close(); err != nil && firstErr == nil {
 		firstErr = err
+	}
+	if c.closeHook != nil {
+		if err := c.closeHook(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	return firstErr
 }

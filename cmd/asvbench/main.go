@@ -18,7 +18,9 @@
 // (reader qps under a forced alignment storm: legacy room-lock reads vs
 // epoch-routed reads vs pinned snapshots, beyond the paper), manyviews
 // (many-views scaling, beyond the paper), tiered (qps vs hot-tier
-// fraction over the simulated capacity tier, beyond the paper), all. An
+// fraction over the simulated capacity tier, beyond the paper), serve
+// (HTTP scatter-gather throughput and tail latency over tenants x
+// shards, beyond the paper), all. An
 // unknown -experiment name fails with the list of valid names. The
 // default scale is 1/16 of the paper's
 // (65,536 pages ≈ 256 MiB per column); -pages 1048576 reproduces the
@@ -125,6 +127,9 @@ var experiments = []experiment{
 	}},
 	{"tiered", "tiered view memory: adaptive qps vs hot-tier fraction at 10x suite page count (beyond the paper)", func(s harness.Scale) ([]*harness.Table, error) {
 		return one(harness.RunTiered(s))
+	}},
+	{"serve", "HTTP front end: scatter-gather qps and p50/p99 latency over tenants x shards, with verified graceful drain (beyond the paper)", func(s harness.Scale) ([]*harness.Table, error) {
+		return one(harness.RunServe(s))
 	}},
 }
 

@@ -12,6 +12,7 @@
 //	asvinspect -events               # enable the event journal and dump it at the end
 //	asvinspect -metrics              # print the unified telemetry snapshot
 //	asvinspect -metrics-out f.json   # write the telemetry snapshot as JSON (for CI artifacts)
+//	asvinspect -serve                # in-process asvd: HTTP round-trip + telemetry + graceful drain
 package main
 
 import (
@@ -48,8 +49,17 @@ func main() {
 		events   = flag.Bool("events", false, "enable the engine event journal (256 events) and dump it at the end")
 		metrics  = flag.Bool("metrics", false, "print the unified telemetry snapshot (counters, gauges, histograms)")
 		metOut   = flag.String("metrics-out", "", "write the telemetry snapshot as stable JSON to this file")
+		srvDemo  = flag.Bool("serve", false, "run the network front end smoke demo: in-process asvd on a random port, fill + query + update round-trip over HTTP, telemetry, graceful shutdown")
 	)
 	flag.Parse()
+
+	if *srvDemo {
+		if err := serveDemo(*pages, *distName, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "asvinspect:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	o := obsFlags{trace: *traceQ, events: *events, metrics: *metrics, metricsOut: *metOut}
 	if err := run(*pages, *queries, *distName, *mode, *seed, *showMaps, *parallel, *scanWork, *autoPlt, *snapDemo, *tierDemo, o); err != nil {

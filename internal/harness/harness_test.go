@@ -339,6 +339,43 @@ func TestRunConcurrent(t *testing.T) {
 	}
 }
 
+func TestRunServe(t *testing.T) {
+	s := tinyScale()
+	s.Pages = 256
+	s.Queries = 24 // split across the 8 closed-loop clients
+	tbl, err := RunServe(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "serve" {
+		t.Fatalf("id = %q", tbl.ID)
+	}
+	want := []string{"tenants", "shards", "serve_qps", "p50_ms", "lat_ms_p99"}
+	if strings.Join(tbl.Header, ",") != strings.Join(want, ",") {
+		t.Fatalf("header %v, want %v", tbl.Header, want)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want one per tenants x shards cell", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(want) {
+			t.Fatalf("row %v: %d cells", row, len(row))
+		}
+		qps, err := strconv.ParseFloat(row[2], 64)
+		if err != nil || qps <= 0 {
+			t.Fatalf("row %v: bad throughput cell %q", row, row[2])
+		}
+		p50, err1 := strconv.ParseFloat(row[3], 64)
+		p99, err2 := strconv.ParseFloat(row[4], 64)
+		if err1 != nil || err2 != nil || p50 < 0 || p99 < p50 {
+			t.Fatalf("row %v: inconsistent latency cells", row)
+		}
+	}
+	if tbl.Telemetry == nil {
+		t.Fatal("serve panel carries no telemetry snapshot")
+	}
+}
+
 func TestRunAutopilot(t *testing.T) {
 	s := tinyScale()
 	if raceEnabled {

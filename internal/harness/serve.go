@@ -1,0 +1,253 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/asv-db/asv/internal/obs"
+	"github.com/asv-db/asv/internal/serve"
+	"github.com/asv-db/asv/internal/workload"
+)
+
+const (
+	// serveSel is the per-query selectivity — the concurrent panel's 1%.
+	serveSel = 0.01
+	// serveClients is the closed-loop client count of every cell: each
+	// client fires its next request only after the previous response, so
+	// offered load tracks service rate instead of overrunning it.
+	serveClients = 8
+	// serveSkew names the client→tenant assignment skew: zipf concentrates
+	// clients on a few hot tenants, the realistic multi-tenant shape.
+	serveSkew = "zipf"
+)
+
+// RunServe measures the network front end end to end (beyond the paper):
+// a live asvd server on a loopback listener, a grid of tenants × shards,
+// and eight closed-loop HTTP clients assigned to tenants by zipf skew
+// firing deterministic fixed-selectivity query streams. Each cell
+// reports accumulated queries per second plus client-observed p50/p99
+// latency, and finishes with a verified graceful shutdown — a straggler
+// client keeps requests in flight while Shutdown drains, and any dropped
+// response fails the cell. Rows sweep tenants and shards: flat qps down
+// the tenant column means the catalog isolates tenants, rising qps
+// across the shard column means scatter-gather buys parallelism at this
+// scale (each tenant's column splits into that many engine instances).
+func RunServe(s Scale) (*Table, error) {
+	grid := []int{1, 4}
+	t := &Table{
+		ID: "serve",
+		Title: fmt.Sprintf("HTTP scatter-gather throughput, zipf tenant skew, sel %.0f%%, %d closed-loop clients, %d queries/cell",
+			serveSel*100, serveClients, s.Queries),
+		Header: []string{"tenants", "shards", "serve_qps", "p50_ms", "lat_ms_p99"},
+	}
+	for _, tenants := range grid {
+		for _, shards := range grid {
+			cell, err := runServeCell(s, tenants, shards)
+			if err != nil {
+				return nil, fmt.Errorf("harness: serve %dx%d: %w", tenants, shards, err)
+			}
+			t.AddRow(itoa(tenants), itoa(shards), f2(cell.qps), ms(cell.p50), ms(cell.p99))
+			t.Telemetry = cell.telemetry
+			s.logf("serve: %d tenant(s) x %d shard(s) done", tenants, shards)
+		}
+	}
+	return t, nil
+}
+
+type serveCell struct {
+	qps       float64
+	p50, p99  time.Duration
+	telemetry *obs.Snapshot
+}
+
+// runServeCell runs one (tenants, shards) cell over s.Runs repetitions
+// on fresh servers, returning the best-throughput run's numbers.
+func runServeCell(s Scale, tenants, shards int) (serveCell, error) {
+	// Split s.Queries across clients exactly, like the concurrent panel:
+	// streams are generated one query longer and truncated, so every cell
+	// fires the stated volume regardless of the client count.
+	base := s.Queries / serveClients
+	rem := s.Queries % serveClients
+	streams, assignments, err := workload.MultiTenantClients(
+		s.Seed, tenants, serveClients, base+1, fig4Domain, serveSel, serveSkew)
+	if err != nil {
+		return serveCell{}, err
+	}
+	for i := rem; i < serveClients; i++ {
+		streams[i] = streams[i][:base]
+	}
+
+	var best serveCell
+	for run := 0; run < s.Runs; run++ {
+		cell, err := runServeOnce(s, tenants, shards, streams, assignments)
+		if err != nil {
+			return serveCell{}, err
+		}
+		if cell.qps > best.qps {
+			best = cell
+		}
+	}
+	return best, nil
+}
+
+func runServeOnce(s Scale, tenants, shards int, streams [][]workload.Query, assignments []int) (serveCell, error) {
+	srv := serve.NewServer(serve.ServerConfig{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return serveCell{}, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	baseURL := "http://" + l.Addr().String()
+
+	// One sharded column per tenant, created and filled over the API
+	// itself — setup exercises the same surface the measurement does.
+	for ti := 0; ti < tenants; ti++ {
+		body, _ := json.Marshal(map[string]any{ //asv:ignore-err marshaling a literal map of scalars cannot fail
+			"name": "col", "pages": s.Pages, "shards": shards, "partitioning": "range",
+			"fill": map[string]any{"dist": "sine", "seed": s.Seed, "lo": 0, "hi": fig4Domain},
+		})
+		status, _, err := servePost(fmt.Sprintf("%s/t/tenant%d/columns", baseURL, ti), body)
+		if err != nil {
+			return serveCell{}, err
+		}
+		if status != http.StatusCreated {
+			return serveCell{}, fmt.Errorf("column create for tenant %d: status %d", ti, status)
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+		samples  = make([][]time.Duration, serveClients)
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	start := time.Now()
+	for c := 0; c < serveClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			url := fmt.Sprintf("%s/t/tenant%d/columns/col/query", baseURL, assignments[c])
+			lat := make([]time.Duration, 0, len(streams[c]))
+			for _, q := range streams[c] {
+				body, _ := json.Marshal(map[string]any{"lo": q.Lo, "hi": q.Hi, "aggregate": true}) //asv:ignore-err marshaling a literal map of scalars cannot fail
+				t0 := time.Now()
+				status, _, err := servePost(url, body)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if status != http.StatusOK {
+					fail(fmt.Errorf("query status %d", status))
+					return
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			samples[c] = lat
+		}(c)
+	}
+
+	// The straggler keeps requests in flight across the shutdown below:
+	// graceful drain is part of every cell, not a separate experiment.
+	var (
+		draining      atomic.Bool
+		dropped       atomic.Int64
+		stragglerDone = make(chan struct{})
+	)
+	go func() {
+		defer close(stragglerDone)
+		url := baseURL + "/t/tenant0/columns/col/query"
+		body, _ := json.Marshal(map[string]any{"lo": 0, "hi": fig4Domain / 100, "aggregate": true}) //asv:ignore-err marshaling a literal map of scalars cannot fail
+		for {
+			status, _, err := servePost(url, body)
+			if err != nil {
+				if !draining.Load() {
+					dropped.Add(1)
+				}
+				return
+			}
+			if status != http.StatusOK {
+				// A request the server accepted must complete, drain or not.
+				dropped.Add(1)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	draining.Store(true)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	shutdownErr := srv.Shutdown(ctx)
+	cancel()
+	<-stragglerDone
+	if err := <-serveErr; err != http.ErrServerClosed {
+		return serveCell{}, fmt.Errorf("serve loop: %w", err)
+	}
+	if shutdownErr != nil {
+		return serveCell{}, fmt.Errorf("graceful shutdown: %w", shutdownErr)
+	}
+	if n := dropped.Load(); n != 0 {
+		return serveCell{}, fmt.Errorf("%d in-flight request(s) dropped across shutdown", n)
+	}
+	if firstErr != nil {
+		return serveCell{}, firstErr
+	}
+
+	var all []time.Duration
+	total := 0
+	for _, lat := range samples {
+		all = append(all, lat...)
+		total += len(lat)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	tel := srv.Registry().Snapshot()
+	return serveCell{
+		qps:       float64(total) / elapsed.Seconds(),
+		p50:       quantileDuration(all, 0.50),
+		p99:       quantileDuration(all, 0.99),
+		telemetry: &tel,
+	}, nil
+}
+
+// servePost issues one JSON POST and returns (status, body, error),
+// always draining the connection for reuse.
+func servePost(url string, body []byte) (int, []byte, error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, raw, nil
+}
+
+// quantileDuration reads the q-quantile from sorted samples (nearest
+// rank, exact — no histogram buckets between the client and the number).
+func quantileDuration(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
